@@ -1,0 +1,77 @@
+//! Criterion benches: software encode/decode throughput of each 8-bit
+//! format (the cost of the emulation layer itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mersit_core::table2_formats;
+use std::hint::black_box;
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_all_codes");
+    for fmt in table2_formats() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fmt.name()),
+            &fmt,
+            |b, fmt| {
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for code in 0..256u16 {
+                        let v = fmt.decode(black_box(code));
+                        if v.is_finite() {
+                            acc += v;
+                        }
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    // Deterministic pseudo-random input batch.
+    let values: Vec<f64> = (0..1024)
+        .map(|i| {
+            let x = f64::from(i % 97) / 23.0 - 2.0;
+            x * x * x // spread across magnitudes, both signs
+        })
+        .collect();
+    let mut g = c.benchmark_group("encode_1k_values");
+    for fmt in table2_formats() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(fmt.name()),
+            &fmt,
+            |b, fmt| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for &v in &values {
+                        acc = acc.wrapping_add(u32::from(fmt.encode(black_box(v))));
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_quantize_round_trip(c: &mut Criterion) {
+    let values: Vec<f64> = (0..1024).map(|i| f64::from(i) / 100.0 - 5.0).collect();
+    let mut g = c.benchmark_group("quantize_round_trip_1k");
+    for name in ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"] {
+        let fmt = mersit_core::parse_format(name).expect("valid");
+        g.bench_with_input(BenchmarkId::from_parameter(name), &fmt, |b, fmt| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &v in &values {
+                    acc += fmt.quantize(black_box(v));
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decode, bench_encode, bench_quantize_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches: gate-level simulation throughput of the synthesized
+//! decoders and MAC units (cycles per second of the EDA substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mersit_hw::{decoder_for, standalone_decoder, MacUnit};
+use mersit_netlist::Simulator;
+use std::hint::black_box;
+
+const HW_FORMATS: [&str; 3] = ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"];
+
+fn bench_decoder_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoder_gate_sim_256codes");
+    for name in HW_FORMATS {
+        let dec = decoder_for(name).expect("hardware format");
+        let (nl, code, _) = standalone_decoder(dec.as_ref());
+        g.throughput(Throughput::Elements(256));
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut sim = Simulator::new(&nl);
+            b.iter(|| {
+                for cv in 0..256u64 {
+                    sim.set(&code, black_box(cv));
+                    sim.step();
+                }
+                sim.peek_output("sig")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mac_clocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_gate_sim_256macs");
+    for name in HW_FORMATS {
+        let dec = decoder_for(name).expect("hardware format");
+        let mac = MacUnit::build(dec.as_ref());
+        g.throughput(Throughput::Elements(256));
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut sim = Simulator::new(&mac.netlist);
+            sim.reset();
+            b.iter(|| {
+                for i in 0..256u64 {
+                    sim.set(&mac.clear, u64::from(i == 0));
+                    sim.set(&mac.w_code, black_box(i * 37 % 256));
+                    sim.set(&mac.a_code, black_box(i * 91 % 256));
+                    sim.clock();
+                }
+                sim.get_signed(&mac.acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decoder_sim, bench_mac_clocking);
+criterion_main!(benches);

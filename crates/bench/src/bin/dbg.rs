@@ -1,0 +1,24 @@
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_hw::*;
+fn main() {
+    for name in ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"] {
+        let dec = decoder_for(name).unwrap();
+        let fmt = mersit_core::parse_format(name).unwrap();
+        let w = gaussian_samples(500, 0.04, 7);
+        let a = gaussian_samples(500, 1.0, 13);
+        let s = encode_stream(fmt.as_ref(), &w, &a);
+        let mc = multiplier_cost(dec.as_ref(), &s);
+        println!("{name:12} dec {:7.1}um2/{:6.2}uW  exp {:6.1}/{:5.2}  frac {:6.1}/{:5.2}  total {:7.1}/{:6.2}",
+          mc.decoder.area_um2, mc.decoder.power_uw, mc.exp_adder.area_um2, mc.exp_adder.power_uw,
+          mc.frac_mul.area_um2, mc.frac_mul.power_uw, mc.total.area_um2, mc.total.power_uw);
+        let kc = mac_cost(dec.as_ref(), &s, 64);
+        println!("{name:12} MAC total {:7.1}um2 {:6.2}uW  (mult {:6.1}, align {:6.1}, acc {:6.1})",
+          kc.total.area_um2, kc.total.power_uw, kc.multiplier.area_um2, kc.aligner.area_um2, kc.accumulator.area_um2);
+    }
+}

@@ -1,0 +1,94 @@
+//! **Extension study**: whole-model accelerator cost. Combines the
+//! per-MAC energy measured on the gate-level units (Fig. 7 methodology),
+//! the tile clock frequency from static timing, and the per-model MAC
+//! counts from the profiler — yielding inference latency and compute
+//! energy per model per format. This is the paper's conclusion ("deep
+//! learning acceleration using MERSIT") made quantitative end to end.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_bench::trained_dnn_operands;
+use mersit_core::parse_format;
+use mersit_hw::{decoder_for, mac_cost};
+use mersit_netlist::TimingReport;
+use mersit_nn::{profile_model, vision_zoo};
+use mersit_tensor::{Rng, Tensor};
+
+const LANES: usize = 64; // accelerator tile: 64 MACs
+
+struct FormatCost {
+    name: &'static str,
+    pj_per_mac: f64,
+    fmax_mhz: f64,
+    mac_area_um2: f64,
+}
+
+fn main() {
+    let ops = trained_dnn_operands(0xACCE1, 4000);
+    // Per-format MAC characteristics from the gate-level units.
+    let mut costs = Vec::new();
+    for name in ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"] {
+        let dec = decoder_for(name).expect("hardware format");
+        let fmt = parse_format(name).expect("valid");
+        let stream = ops.encode_scaled(fmt.as_ref(), 2000);
+        let c = mac_cost(dec.as_ref(), &stream, 64);
+        let mac = mersit_hw::MacUnit::build(dec.as_ref());
+        let t = TimingReport::of(&mac.netlist);
+        costs.push(FormatCost {
+            name,
+            // µW at 100 MHz → pJ per operation.
+            pj_per_mac: c.total.power_uw / 100.0,
+            fmax_mhz: t.fmax_mhz,
+            mac_area_um2: c.total.area_um2,
+        });
+    }
+
+    println!("=== Extension: accelerator-level cost ({LANES}-MAC tile) ===\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "Format", "pJ/MAC", "fmax MHz", "tile mm^2"
+    );
+    mersit_bench::hr(50);
+    for c in &costs {
+        println!(
+            "{:<14} {:>10.3} {:>10.0} {:>12.4}",
+            c.name,
+            c.pj_per_mac,
+            c.fmax_mhz,
+            c.mac_area_um2 * LANES as f64 / 1e6
+        );
+    }
+
+    // Per-model workloads (batch 1).
+    let mut rng = Rng::new(0xACCE2);
+    let x = Tensor::randn(&[1, 3, 12, 12], 1.0, &mut rng);
+    println!(
+        "\n{:<20} {:>10} {:>8}   energy uJ / latency us per format",
+        "Model", "MACs", "params"
+    );
+    mersit_bench::hr(96);
+    for mut model in vision_zoo(12, 10, 0xBEEF) {
+        let p = profile_model(&mut model, &x);
+        let macs = p.macs_per_sample();
+        print!("{:<20} {:>10} {:>8}  ", p.model, macs, p.total_params());
+        for c in &costs {
+            let energy_uj = macs as f64 * c.pj_per_mac / 1e6;
+            let latency_us = macs as f64 / (LANES as f64 * c.fmax_mhz);
+            print!(" {:>6.3}/{:<7.3}", energy_uj, latency_us);
+        }
+        println!();
+    }
+    println!("\n(columns: FP(8,4), Posit(8,1), MERSIT(8,2))");
+    let posit = &costs[1];
+    let mersit = &costs[2];
+    println!(
+        "\nMERSIT vs Posit at model level: {:.1}% less energy, {:.1}% faster at fmax",
+        100.0 * (1.0 - mersit.pj_per_mac / posit.pj_per_mac),
+        100.0 * (mersit.fmax_mhz / posit.fmax_mhz - 1.0),
+    );
+}

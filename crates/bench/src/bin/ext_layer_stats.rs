@@ -1,0 +1,60 @@
+//! **Extension study**: why each architecture family lands where it does
+//! in Table 2 — per-model activation-distribution statistics (dynamic-range
+//! demand and outlier ratios) from trained models. High range demand
+//! predicts the collapse of narrow-range formats (INT8, FP(8,2),
+//! Posit(8,0)); low demand predicts format-insensitivity.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_nn::{profile_model, synthetic_images, train_classifier, vision_zoo, TrainConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_train, epochs) = if quick { (500, 3) } else { (1200, 5) };
+    let ds = synthetic_images(0x57A7, n_train, 100, 12);
+
+    println!("=== Extension: per-model activation statistics (trained) ===\n");
+    println!(
+        "{:<20} {:>9} {:>9} {:>12} {:>12} {:>12}",
+        "model", "layers", "MACs", "peak rng bits", "mean rng bits", "outliers %"
+    );
+    mersit_bench::hr(80);
+    for mut model in vision_zoo(12, 10, 0xBEEF) {
+        train_classifier(
+            &mut model.net,
+            &ds.train,
+            &TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+        );
+        let p = profile_model(&mut model, &ds.test.inputs.slice_outer(0, 32));
+        let mean_rng = p
+            .layers
+            .iter()
+            .map(mersit_nn::LayerStats::range_demand_bits)
+            .sum::<f64>()
+            / p.layers.len() as f64;
+        let mean_out = p.layers.iter().map(|l| l.outlier_ratio).sum::<f64>()
+            / p.layers.len() as f64;
+        println!(
+            "{:<20} {:>9} {:>9} {:>12.2} {:>12.2} {:>12.3}",
+            p.model,
+            p.layers.len(),
+            p.macs_per_sample(),
+            p.peak_range_demand_bits(),
+            mean_rng,
+            100.0 * mean_out
+        );
+    }
+    println!();
+    println!("Reading: the h-swish/SiLU + SE models carry the highest dynamic-range");
+    println!("demand (max/rms) — exactly the models where Table 2 shows INT8 /");
+    println!("FP(8,2) / Posit(8,0) collapsing while MERSIT(8,2)'s tapered range");
+    println!("absorbs the spread.");
+}

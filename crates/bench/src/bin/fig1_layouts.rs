@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 1**: the bit-layout diagrams of FP8 and Posit8,
+//! illustrated on concrete codes.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::{Format, Fp8, Posit};
+
+fn show_fp8(e: u32, code: u16) {
+    let f = Fp8::new(e).expect("valid configuration");
+    let m = 7 - e;
+    let bits = format!("{code:08b}");
+    println!("{}  code {bits}", f.name());
+    println!(
+        "  sign={}  exponent[{e}]={}  fraction[{m}]={}",
+        &bits[0..1],
+        &bits[1..1 + e as usize],
+        &bits[1 + e as usize..]
+    );
+    println!("  value = {}\n", f.decode(code));
+}
+
+fn show_posit(es: u32, code: u16) {
+    let p = Posit::new(8, es).expect("valid configuration");
+    let bits = format!("{code:08b}");
+    println!("{}  code {bits}", p.name());
+    let d = p.fields(code);
+    match d {
+        Some(d) => println!(
+            "  sign={}  regime k={}  exp={}  frac={:0width$b} ({} bits)",
+            u8::from(d.sign),
+            d.regime.unwrap_or(0),
+            d.exp_raw,
+            d.frac,
+            d.frac_bits,
+            width = d.frac_bits.max(1) as usize
+        ),
+        None => println!("  special value"),
+    }
+    println!("  value = {}\n", p.decode(code));
+}
+
+fn main() {
+    println!("=== Fig. 1a: FP8 structure (sign | exponent | fraction) ===\n");
+    for (e, code) in [(4u32, 0b0_0111_100u16), (4, 0b1_1010_011), (3, 0b0_011_1010)] {
+        show_fp8(e, code);
+    }
+    println!("=== Fig. 1b: Posit8 structure (sign | regime | exp | fraction) ===\n");
+    for code in [0b0_10_0_1000u16, 0b0_110_1_010, 0b0_0001_1_01, 0b1_10_1_0000] {
+        show_posit(1, code);
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates the **Fig. 2 table**: dynamic range, exponent width `P`,
+//! significand width `M`, and Kulisch span `W` for FP(8,4), Posit(8,1),
+//! and MERSIT(8,2) — extended to every configuration under study.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::{table2_formats, MacParams};
+
+fn main() {
+    println!(
+        "{:<14} {:>16} {:>4} {:>4} {:>22}",
+        "Format", "Dynamic Range", "P", "M", "W"
+    );
+    mersit_bench::hr(66);
+    for fmt in table2_formats() {
+        if fmt.name() == "INT8" {
+            // Fixed-point: the accumulator is a plain integer adder.
+            println!(
+                "{:<14} {:>16} {:>4} {:>4} {:>22}",
+                "INT8", "-127..127", "-", "8", "16+V (integer)"
+            );
+            continue;
+        }
+        let p = MacParams::of(fmt.as_ref());
+        println!(
+            "{:<14} {:>16} {:>4} {:>4} {:>22}",
+            fmt.name(),
+            format!("2^{}..2^{}", p.e_min, p.e_max),
+            p.p,
+            p.m,
+            format!("2x({}+{})+1={} bits", -p.e_min, p.e_max, p.w)
+        );
+    }
+    println!();
+    println!("Paper anchors: FP(8,4) W=33, Posit(8,1) W=45, MERSIT(8,2) W=35.");
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 3**: a step-by-step MERSIT(8,2) decoding walkthrough
+//! (sign / regime-sign / exponent candidates / fraction), for every
+//! structurally distinct case.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::{Format, Mersit, ValueClass};
+
+fn walkthrough(m: &Mersit, code: u16) {
+    let bits = format!("{code:08b}");
+    let es = m.es() as usize;
+    println!("code {bits}   ({})", m.name());
+    println!("  sign = {}   ks = {}", &bits[0..1], &bits[1..2]);
+    let body = &bits[2..];
+    for g in 0..m.groups() as usize {
+        let ec = &body[g * es..(g + 1) * es];
+        let all_ones = ec.chars().all(|c| c == '1');
+        println!(
+            "  EC{g} = {ec}  AND = {}",
+            if all_ones { 1 } else { 0 }
+        );
+    }
+    match m.classify(code) {
+        ValueClass::Zero => println!("  every EC is all-ones, ks=0  =>  zero\n"),
+        ValueClass::Infinite => println!("  every EC is all-ones, ks=1  =>  +/-inf\n"),
+        ValueClass::Finite => {
+            let d = m.fields(code).expect("finite");
+            println!(
+                "  exponent EC found at g (first AND=0)  =>  k = {}  exp = {}",
+                d.regime.expect("mersit has regimes"),
+                d.exp_raw
+            );
+            println!(
+                "  effective exponent = (2^es-1)*k + exp = {}",
+                d.exp_eff
+            );
+            println!(
+                "  fraction = {:0w$b} ({} bits)  =>  value = {}\n",
+                d.frac,
+                d.frac_bits,
+                m.decode(code),
+                w = d.frac_bits.max(1) as usize
+            );
+        }
+        ValueClass::Nan => unreachable!("MERSIT has no NaN"),
+    }
+}
+
+fn main() {
+    let m = Mersit::new(8, 2).expect("valid configuration");
+    println!("=== Fig. 3: MERSIT(8,2) decoding walkthroughs ===\n");
+    for code in [
+        0b0_1_00_1010u16, // k=0, fraction-rich
+        0b0_1_1101_01,    // k=1, 2 fraction bits
+        0b0_1_111110,     // k=2, no fraction bits
+        0b0_0_01_0011,    // negative regime, k=-1
+        0b0_0_1110_10,    // k=-2
+        0b1_0_111101,     // negative value, k=-3
+        0b0_0_111111,     // zero
+        0b0_1_111111,     // +inf
+    ] {
+        walkthrough(&m, code);
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 4**: the per-binade effective fraction precision of
+//! FP(8,2..5), Posit(8,0..2) and MERSIT(8,2..3), rendered as an ASCII
+//! staircase (one digit per binade = fraction bits available there).
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::{fig4_formats, PrecisionProfile};
+
+fn main() {
+    let profiles: Vec<PrecisionProfile> = fig4_formats()
+        .iter()
+        .map(|f| PrecisionProfile::of(f.as_ref()))
+        .collect();
+    let lo = profiles.iter().map(PrecisionProfile::exp_min).min().expect("profiles");
+    let hi = profiles.iter().map(PrecisionProfile::exp_max).max().expect("profiles");
+
+    println!("=== Fig. 4: range and precision of 8-bit data formats ===");
+    println!("(columns: binade exponent {lo}..{hi}; digit = effective fraction bits)\n");
+    // Axis header (mark decades).
+    let mut axis = String::new();
+    for e in lo..=hi {
+        axis.push(if e == 0 {
+            '0'
+        } else if e % 4 == 0 {
+            '|'
+        } else {
+            ' '
+        });
+    }
+    println!("{:<14} {axis}", "");
+    for p in &profiles {
+        println!("{:<14} {}", p.name, p.ascii_row(lo, hi));
+    }
+    println!();
+    println!(
+        "{:<14} {:>6} {:>6} {:>9} {:>14}",
+        "Format", "min2^", "max2^", "peak-bits", "4-bit band"
+    );
+    mersit_bench::hr(55);
+    for p in &profiles {
+        println!(
+            "{:<14} {:>6} {:>6} {:>9} {:>14}",
+            p.name,
+            p.exp_min(),
+            p.exp_max(),
+            p.max_frac_bits(),
+            format!("{} binades", p.band_width_at(4))
+        );
+    }
+    println!();
+    println!(
+        "S3.2 check: MERSIT(8,2) 4-bit band = {} binades vs Posit(8,1) = {} binades",
+        profiles
+            .iter()
+            .find(|p| p.name == "MERSIT(8,2)")
+            .expect("present")
+            .band_width_at(4),
+        profiles
+            .iter()
+            .find(|p| p.name == "Posit(8,1)")
+            .expect("present")
+            .band_width_at(4),
+    );
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Fig. 5**: the merged decoding scheme — cell counts and
+//! areas of the decoder sub-blocks (EC AND gates, first-zero LZD,
+//! `k×(2^es−1)` unit, coarse shifter) and the full decoder comparison
+//! against Posit and FP8, including structural Verilog dumps.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::Mersit;
+use mersit_hw::lzd::{first_zero_detector, k_times_scale};
+use mersit_hw::{decoder_for, standalone_decoder};
+use mersit_netlist::{to_verilog, AreaReport, Bus, Netlist, TimingReport};
+
+fn main() {
+    println!("=== Fig. 5b: the two 'challenging' MERSIT(8,2) sub-blocks ===\n");
+
+    // 3-bit first-zero detector over the EC AND flags.
+    let mut nl = Netlist::new("lzd3");
+    let f = nl.input("flags", 3);
+    let fz = first_zero_detector(&mut nl, &[f.bit(0), f.bit(1), f.bit(2)]);
+    nl.output("idx", &fz.index);
+    nl.output("none", &Bus(vec![fz.none]));
+    let a = AreaReport::of(&nl);
+    println!("3-bit LZD unit: {} cells, {:.2} um^2", nl.gates().len(), a.total_um2);
+    for (cell, n) in &a.by_cell {
+        println!("    {cell}: {n}");
+    }
+
+    // k × 3 unit (es = 2).
+    let mut nl = Netlist::new("kx3");
+    let k = nl.input("k", 3);
+    let r = k_times_scale(&mut nl, &k, 2, 5);
+    nl.output("r", &r);
+    let a = AreaReport::of(&nl);
+    println!("\nk x (2^es - 1) unit (es=2): {} cells, {:.2} um^2", nl.gates().len(), a.total_um2);
+    for (cell, n) in &a.by_cell {
+        println!("    {cell}: {n}");
+    }
+
+    println!("\n=== Full decoder comparison (both operands' worth = 1 decoder each) ===\n");
+    println!(
+        "{:<14} {:>7} {:>12} {:>14} {:>8}",
+        "Decoder", "cells", "area um^2", "crit path ps", "levels"
+    );
+    mersit_bench::hr(60);
+    for name in ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)", "MERSIT(8,3)"] {
+        let dec = decoder_for(name).expect("hardware format");
+        let (nl, _, _) = standalone_decoder(dec.as_ref());
+        let a = AreaReport::of(&nl);
+        let t = TimingReport::of(&nl);
+        println!(
+            "{name:<14} {:>7} {:>12.1} {:>14.0} {:>8}",
+            nl.gates().len(),
+            a.total_um2,
+            t.critical_path_ps,
+            t.levels
+        );
+    }
+    println!("\n(S4.1: \"our decoder having a shorter critical path than the Posit one\")");
+
+    // The write-back path: the MERSIT(8,2) requantizer (encoder).
+    let rq = mersit_hw::MersitRequantizer::build(24, -12);
+    let ra = AreaReport::of(&rq.netlist);
+    let rt = TimingReport::of(&rq.netlist);
+    println!(
+        "\nMERSIT(8,2) requantizer (24-bit fixed-point -> code): {} cells, {:.1} um^2, {:.0} ps",
+        rq.netlist.gates().len(),
+        ra.total_um2,
+        rt.critical_path_ps
+    );
+
+    // Verilog artifact for the MERSIT decoder.
+    let dec = mersit_hw::MersitDecoder::new(Mersit::new(8, 2).expect("valid"));
+    let (nl, _, _) = standalone_decoder(&dec);
+    let v = to_verilog(&nl);
+    let path = "target/mersit82_decoder.v";
+    if std::fs::write(path, &v).is_ok() {
+        println!("\nstructural Verilog written to {path} ({} lines)", v.lines().count());
+    }
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Fig. 7**: area and power of the full MAC units for
+//! FP(8,4), Posit(8,1) and MERSIT(8,2), synthesized to the 45 nm-class
+//! cell model and exercised with actual DNN operand streams at 100 MHz.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_bench::trained_dnn_operands;
+use mersit_core::parse_format;
+use mersit_hw::{decoder_for, mac_cost, MacBreakdown};
+
+fn bar(v: f64, scale: f64) -> String {
+    "#".repeat((v / scale).round() as usize)
+}
+
+fn main() {
+    let ops = trained_dnn_operands(0xF16_7, 4000);
+    let names = ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"];
+    let mut rows: Vec<MacBreakdown> = Vec::new();
+    for name in names {
+        let dec = decoder_for(name).expect("hardware format");
+        let fmt = parse_format(name).expect("valid");
+        let stream = ops.encode_scaled(fmt.as_ref(), 2000);
+        rows.push(mac_cost(dec.as_ref(), &stream, 64));
+    }
+
+    println!("=== Fig. 7: MAC area and power (45nm-class, 100 MHz, real DNN data) ===\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "Format", "mult um^2", "align um^2", "acc um^2", "TOTAL um^2", "TOTAL uW", "acc bits"
+    );
+    mersit_bench::hr(82);
+    for r in &rows {
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>11.2} {:>10}",
+            r.name,
+            r.multiplier.area_um2,
+            r.aligner.area_um2,
+            r.accumulator.area_um2,
+            r.total.area_um2,
+            r.total.power_uw,
+            r.acc_width
+        );
+    }
+
+    let amax = rows.iter().map(|r| r.total.area_um2).fold(0.0, f64::max);
+    let pmax = rows.iter().map(|r| r.total.power_uw).fold(0.0, f64::max);
+    println!("\narea  (one # = {:.0} um^2)", amax / 40.0);
+    for r in &rows {
+        println!("  {:<14} {}", r.name, bar(r.total.area_um2, amax / 40.0));
+    }
+    println!("power (one # = {:.2} uW)", pmax / 40.0);
+    for r in &rows {
+        println!("  {:<14} {}", r.name, bar(r.total.power_uw, pmax / 40.0));
+    }
+
+    let posit = &rows[1];
+    let mersit = &rows[2];
+    let fp = &rows[0];
+    println!();
+    println!(
+        "MERSIT(8,2) vs Posit(8,1): area -{:.1}%  power -{:.1}%   (paper: -26.6% / -22.2%)",
+        100.0 * (1.0 - mersit.total.area_um2 / posit.total.area_um2),
+        100.0 * (1.0 - mersit.total.power_uw / posit.total.power_uw),
+    );
+    println!(
+        "MERSIT(8,2) vs FP(8,4):    area +{:.1}%  power {:+.1}%   (paper: +11% / ~par)",
+        100.0 * (mersit.total.area_um2 / fp.total.area_um2 - 1.0),
+        100.0 * (mersit.total.power_uw / fp.total.power_uw - 1.0),
+    );
+}

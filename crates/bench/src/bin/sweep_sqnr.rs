@@ -1,0 +1,71 @@
+//! **Extension study**: signal-to-quantization-noise ratio (SQNR) of every
+//! 8-bit format as the data distribution hardens — Gaussian with an
+//! increasing fraction of large outliers (the activation regime of modern
+//! DNNs). Makes the Table 2 crossovers visible as a single sweep:
+//! flat-precision formats win on clean data; tapered formats win once
+//! outliers force the scale up.
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::{table2_formats, Format};
+use mersit_ptq::scale_anchor;
+use mersit_tensor::Rng;
+
+/// SQNR in dB of quantizing `data` with max-calibrated scaling.
+fn sqnr_db(fmt: &dyn Format, data: &[f64]) -> f64 {
+    let max = data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let s = max / scale_anchor(fmt);
+    let mut sig = 0.0;
+    let mut noise = 0.0;
+    for &v in data {
+        let q = fmt.quantize(v / s) * s;
+        sig += v * v;
+        noise += (q - v) * (q - v);
+    }
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / noise).log10()
+    }
+}
+
+fn main() {
+    let mut rng = Rng::new(0x509);
+    let n = 20_000;
+    let base: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+    // Outlier magnitudes: log-normal tail ~ e^(3+N) (30–3000x the bulk).
+    let outlier_mag: Vec<f64> = (0..n).map(|_| (3.0 + rng.normal()).exp()).collect();
+
+    let ratios = [0.0, 1e-4, 1e-3, 1e-2, 0.05, 0.2];
+    let formats = table2_formats();
+
+    println!("=== SQNR (dB) vs outlier fraction: Gaussian bulk + log-normal tail ===\n");
+    print!("{:<14}", "Format");
+    for r in ratios {
+        print!(" {r:>9}");
+    }
+    println!();
+    mersit_bench::hr(14 + 10 * ratios.len());
+    for fmt in &formats {
+        print!("{:<14}", fmt.name());
+        for &r in &ratios {
+            let mut data = base.clone();
+            let k = (n as f64 * r) as usize;
+            for (i, v) in data.iter_mut().enumerate().take(k) {
+                *v = outlier_mag[i] * v.signum().max(-1.0);
+            }
+            print!(" {:>9.2}", sqnr_db(fmt.as_ref(), &data));
+        }
+        println!();
+    }
+    println!();
+    println!("Reading: with no outliers the high-precision formats (Posit(8,0),");
+    println!("FP(8,2)) lead; as the outlier fraction grows, max-calibrated scales");
+    println!("explode and only wide-dynamic-range tapered formats — Posit(8,1),");
+    println!("MERSIT(8,2) — hold SQNR. This is the Table 2 mechanism in isolation.");
+}

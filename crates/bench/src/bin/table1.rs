@@ -1,0 +1,18 @@
+//! Regenerates **Table 1** of the paper: the complete MERSIT(8,2)
+//! decoding table, plus the same enumeration for MERSIT(8,3).
+
+#![allow(
+    clippy::pedantic,
+    clippy::string_slice,
+    clippy::unusual_byte_groupings,
+    clippy::type_complexity
+)]
+
+use mersit_core::{render_mersit_table, Mersit};
+
+fn main() {
+    let m82 = Mersit::new(8, 2).expect("valid configuration");
+    println!("{}", render_mersit_table(&m82));
+    let m83 = Mersit::new(8, 3).expect("valid configuration");
+    println!("{}", render_mersit_table(&m83));
+}

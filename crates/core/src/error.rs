@@ -1,0 +1,52 @@
+//! Error types for format construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a format configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use mersit_core::Mersit;
+///
+/// // 7 body bits cannot be split into 2-bit exponent candidates.
+/// assert!(Mersit::new(9, 2).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidFormatError {
+    message: String,
+}
+
+impl InvalidFormatError {
+    /// Creates an error with the given message (also usable by downstream
+    /// crates that extend the format family).
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvalidFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid format configuration: {}", self.message)
+    }
+}
+
+impl Error for InvalidFormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = InvalidFormatError::new("es too large");
+        assert_eq!(
+            e.to_string(),
+            "invalid format configuration: es too large"
+        );
+    }
+}

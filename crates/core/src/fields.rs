@@ -1,0 +1,181 @@
+//! Common decoded-field representation shared by every 8-bit format.
+//!
+//! The hardware MAC of the paper (Fig. 2) feeds a *decoder* output —
+//! an effective exponent and an effective fraction — into a signed
+//! exponent adder and an unsigned fraction multiplier. [`Decoded`] is the
+//! software mirror of that decoder output and is what the gate-level
+//! models in `mersit-hw` are cross-checked against.
+
+use std::fmt;
+
+/// Classification of a code point of an 8-bit format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueClass {
+    /// Exact zero (positive or negative zero patterns both classify here).
+    Zero,
+    /// A finite, non-zero representable value.
+    Finite,
+    /// Positive or negative infinity (MERSIT `1111111`, paper-Posit
+    /// all-ones regime, FP8 exponent-all-ones with zero fraction).
+    Infinite,
+    /// Not-a-number (FP8 exponent-all-ones with non-zero fraction,
+    /// standard-Posit NaR).
+    Nan,
+}
+
+impl ValueClass {
+    /// Returns `true` for [`ValueClass::Finite`].
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self == ValueClass::Finite
+    }
+
+    /// Returns `true` for zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == ValueClass::Zero
+    }
+}
+
+impl fmt::Display for ValueClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueClass::Zero => "zero",
+            ValueClass::Finite => "finite",
+            ValueClass::Infinite => "inf",
+            ValueClass::Nan => "nan",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Decoder output for one code word: the fields a hardware decoder extracts.
+///
+/// The represented value of a finite code is
+///
+/// ```text
+/// (-1)^sign × sig × 2^(exp_eff − (sig_bits − 1))
+/// ```
+///
+/// where `sig` is the *left-aligned* significand including the hidden bit
+/// (the dynamic shifter of the MERSIT decoder in Fig. 5 performs exactly this
+/// left alignment in hardware). For FP8 subnormals the hidden bit is zero and
+/// `sig` is *not* normalized; the formula above still holds with
+/// `exp_eff = 1 − bias`.
+///
+/// # Examples
+///
+/// ```
+/// use mersit_core::{Format, Mersit};
+///
+/// let m = Mersit::new(8, 2).unwrap();
+/// // 0 1 01 xxxx with frac 0110 → k = 0, exp = 1, value = 2^1 × (1 + 6/16)
+/// let code = 0b0_1_01_0110;
+/// let d = m.fields(code).unwrap();
+/// assert_eq!(d.exp_eff, 1);
+/// assert_eq!(d.frac_bits, 4);
+/// assert_eq!(m.decode(code), 2.0 * (1.0 + 6.0 / 16.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Sign of the value (`true` = negative).
+    pub sign: bool,
+    /// Regime value `k` for Posit/MERSIT; `None` for formats without a regime.
+    pub regime: Option<i32>,
+    /// Raw exponent-field value (before bias / regime contribution).
+    pub exp_raw: u32,
+    /// Effective (unbiased) exponent of the hidden-bit position.
+    pub exp_eff: i32,
+    /// Left-aligned significand including the hidden bit.
+    pub sig: u32,
+    /// Width of `sig` in bits (the `M` parameter of the MAC in Fig. 2).
+    pub sig_bits: u32,
+    /// Number of fraction bits actually present in the encoding
+    /// (varies with `k` for Posit/MERSIT; fixed for FP8).
+    pub frac_bits: u32,
+    /// Raw fraction-field value (right-aligned, `frac_bits` wide).
+    pub frac: u32,
+}
+
+impl Decoded {
+    /// The magnitude this decoding represents, `sig × 2^(exp_eff − (sig_bits−1))`.
+    #[must_use]
+    pub fn magnitude(&self) -> f64 {
+        f64::from(self.sig) * exp2i(self.exp_eff - (self.sig_bits as i32 - 1))
+    }
+
+    /// The signed value this decoding represents.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        let m = self.magnitude();
+        if self.sign {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sign={} k={:?} exp_raw={} exp_eff={} sig={:#0width$b} frac_bits={}",
+            u8::from(self.sign),
+            self.regime,
+            self.exp_raw,
+            self.exp_eff,
+            self.sig,
+            self.frac_bits,
+            width = self.sig_bits as usize + 2,
+        )
+    }
+}
+
+/// `2^e` for possibly large-magnitude integer `e`, exact in `f64`
+/// for the entire range any 16-bit-or-smaller format can produce.
+#[must_use]
+pub fn exp2i(e: i32) -> f64 {
+    // f64 covers 2^-1074 .. 2^1023; all our formats stay far inside.
+    f64::powi(2.0, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp2i_matches_powers() {
+        assert_eq!(exp2i(0), 1.0);
+        assert_eq!(exp2i(10), 1024.0);
+        assert_eq!(exp2i(-3), 0.125);
+        assert_eq!(exp2i(-24), 2.0_f64.powi(-24));
+    }
+
+    #[test]
+    fn decoded_value_formula() {
+        // 1.0110 × 2^3 = 22 × 2^(3-4)
+        let d = Decoded {
+            sign: false,
+            regime: Some(1),
+            exp_raw: 0,
+            exp_eff: 3,
+            sig: 0b10110,
+            sig_bits: 5,
+            frac_bits: 4,
+            frac: 0b0110,
+        };
+        assert_eq!(d.magnitude(), 22.0 * 0.5);
+        let mut n = d;
+        n.sign = true;
+        assert_eq!(n.value(), -11.0);
+    }
+
+    #[test]
+    fn class_display_and_predicates() {
+        assert!(ValueClass::Finite.is_finite());
+        assert!(ValueClass::Zero.is_zero());
+        assert!(!ValueClass::Infinite.is_finite());
+        assert_eq!(ValueClass::Nan.to_string(), "nan");
+    }
+}

@@ -1,0 +1,135 @@
+//! MAC sizing parameters per format — the table embedded in Fig. 2.
+//!
+//! For a format with dynamic range `2^e_min … ~2^e_max` the Kulisch-style
+//! MAC of §2.2 needs:
+//!
+//! * `P`  — signed width of the decoded effective exponent,
+//! * `M`  — width of the effective significand (hidden bit included),
+//! * `W = 2×(|e_min| + e_max) + 1` — fixed-point accumulator span covering
+//!   the full product range (plus an overflow margin `V` chosen at
+//!   instantiation time).
+//!
+//! Paper values reproduced exactly: FP(8,4) → 33 bits, Posit(8,1) → 45 bits,
+//! MERSIT(8,2) → 35 bits.
+
+use crate::format::Format;
+use std::fmt;
+
+/// Sizing parameters of a MAC unit specialized to one format (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacParams {
+    /// Exponent of the smallest positive magnitude (`min_positive = 2^e_min`).
+    pub e_min: i32,
+    /// Floor of the log2 of the largest finite magnitude.
+    pub e_max: i32,
+    /// Signed bit-width of the decoded effective exponent (`P`).
+    pub p: u32,
+    /// Significand width including the hidden bit (`M`).
+    pub m: u32,
+    /// Kulisch accumulator span `W = 2(|e_min| + e_max) + 1`.
+    pub w: u32,
+}
+
+impl MacParams {
+    /// Derives the MAC parameters of `fmt`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mersit_core::{MacParams, Mersit, Posit, Fp8};
+    ///
+    /// assert_eq!(MacParams::of(&Fp8::new(4)?).w, 33);
+    /// assert_eq!(MacParams::of(&Posit::new(8, 1)?).w, 45);
+    /// assert_eq!(MacParams::of(&Mersit::new(8, 2)?).w, 35);
+    /// # Ok::<(), mersit_core::InvalidFormatError>(())
+    /// ```
+    #[must_use]
+    pub fn of(fmt: &dyn Format) -> Self {
+        let e_min = fmt.min_positive().log2().floor() as i32;
+        let e_max = fmt.max_finite().log2().floor() as i32;
+        let p = signed_width(e_min).max(signed_width(e_max));
+        let m = fmt.max_frac_bits() + 1;
+        let w = (2 * (e_max - e_min) + 1) as u32;
+        Self {
+            e_min,
+            e_max,
+            p,
+            m,
+            w,
+        }
+    }
+
+    /// Width of the fraction multiplier product, `2M`.
+    #[must_use]
+    pub fn product_bits(&self) -> u32 {
+        2 * self.m
+    }
+
+    /// Accumulator width including an overflow margin of `v` bits
+    /// (the `W + V` of Fig. 2).
+    #[must_use]
+    pub fn acc_bits(&self, v: u32) -> u32 {
+        self.w + v
+    }
+}
+
+impl fmt::Display for MacParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "range 2^{}..2^{}  P={}  M={}  W=2x({}+{})+1={} bits",
+            self.e_min,
+            self.e_max,
+            self.p,
+            self.m,
+            -self.e_min,
+            self.e_max,
+            self.w
+        )
+    }
+}
+
+/// Minimal signed two's-complement width holding `v`.
+fn signed_width(v: i32) -> u32 {
+    let mut w = 1;
+    while !((-(1i64 << (w - 1)))..(1i64 << (w - 1))).contains(&i64::from(v)) {
+        w += 1;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fp8, Mersit, Posit};
+
+    #[test]
+    fn fig2_table_values() {
+        // FP(8,4): 2^-9..2^7, P=5, M=4, W=33
+        let fp = MacParams::of(&Fp8::new(4).unwrap());
+        assert_eq!((fp.e_min, fp.e_max, fp.p, fp.m, fp.w), (-9, 7, 5, 4, 33));
+        // Posit(8,1): 2^-12..2^10, P=5, M=5, W=45
+        let po = MacParams::of(&Posit::new(8, 1).unwrap());
+        assert_eq!((po.e_min, po.e_max, po.p, po.m, po.w), (-12, 10, 5, 5, 45));
+        // MERSIT(8,2): 2^-9..2^8, P=5, M=5, W=35
+        let me = MacParams::of(&Mersit::new(8, 2).unwrap());
+        assert_eq!((me.e_min, me.e_max, me.p, me.m, me.w), (-9, 8, 5, 5, 35));
+    }
+
+    #[test]
+    fn acc_and_product_widths() {
+        let me = MacParams::of(&Mersit::new(8, 2).unwrap());
+        assert_eq!(me.product_bits(), 10);
+        assert_eq!(me.acc_bits(4), 39);
+    }
+
+    #[test]
+    fn signed_width_edges() {
+        assert_eq!(signed_width(0), 1);
+        assert_eq!(signed_width(-1), 1);
+        assert_eq!(signed_width(1), 2);
+        assert_eq!(signed_width(-16), 5);
+        assert_eq!(signed_width(15), 5);
+        assert_eq!(signed_width(16), 6);
+    }
+}

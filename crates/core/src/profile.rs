@@ -1,0 +1,197 @@
+//! Dynamic-range / precision profiling of formats (Fig. 4).
+//!
+//! Fig. 4 of the paper plots, per binade of representable magnitude, how
+//! many effective fraction bits each configuration carries. We recover the
+//! same staircase by counting lattice points per binade: a binade holding
+//! `2^b` values offers `b` effective fraction bits. This automatically
+//! captures FP8's degrading subnormal precision and Posit/MERSIT's
+//! regime-dependent tapering.
+
+use crate::fields::ValueClass;
+use crate::format::Format;
+
+/// Effective precision available in one binade `[2^exp, 2^(exp+1))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BinadePrecision {
+    /// Binade exponent (floor of log2 of the magnitudes inside).
+    pub exp: i32,
+    /// Number of lattice points in the binade.
+    pub count: u32,
+    /// Effective fraction bits, `floor(log2(count))`.
+    pub frac_bits: u32,
+}
+
+/// The per-binade precision staircase of a format (one Fig. 4 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisionProfile {
+    /// Format name this profile belongs to.
+    pub name: String,
+    /// Binades ascending by exponent; contiguous from the lowest to the
+    /// highest representable binade.
+    pub binades: Vec<BinadePrecision>,
+}
+
+impl PrecisionProfile {
+    /// Profiles `fmt` by enumerating its positive finite lattice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mersit_core::{PrecisionProfile, Mersit};
+    ///
+    /// let p = PrecisionProfile::of(&Mersit::new(8, 2)?);
+    /// assert_eq!(p.exp_min(), -9);
+    /// assert_eq!(p.exp_max(), 8);
+    /// assert_eq!(p.max_frac_bits(), 4);
+    /// # Ok::<(), mersit_core::InvalidFormatError>(())
+    /// ```
+    #[must_use]
+    pub fn of(fmt: &dyn Format) -> Self {
+        let mut counts: std::collections::BTreeMap<i32, u32> = std::collections::BTreeMap::new();
+        for code in fmt.codes() {
+            let code = code as u16;
+            if fmt.classify(code) != ValueClass::Finite {
+                continue;
+            }
+            let v = fmt.decode(code);
+            if v <= 0.0 {
+                continue;
+            }
+            let e = v.log2().floor() as i32;
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        let binades = counts
+            .into_iter()
+            .map(|(exp, count)| BinadePrecision {
+                exp,
+                count,
+                frac_bits: 31 - count.leading_zeros().min(31),
+            })
+            .collect();
+        Self {
+            name: fmt.name(),
+            binades,
+        }
+    }
+
+    /// Lowest representable binade exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format has no finite positive values.
+    #[must_use]
+    pub fn exp_min(&self) -> i32 {
+        self.binades.first().expect("non-empty profile").exp
+    }
+
+    /// Highest representable binade exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format has no finite positive values.
+    #[must_use]
+    pub fn exp_max(&self) -> i32 {
+        self.binades.last().expect("non-empty profile").exp
+    }
+
+    /// The best effective fraction precision anywhere in the range.
+    #[must_use]
+    pub fn max_frac_bits(&self) -> u32 {
+        self.binades.iter().map(|b| b.frac_bits).max().unwrap_or(0)
+    }
+
+    /// Width (in binades) of the region offering at least `bits` fraction bits.
+    #[must_use]
+    pub fn band_width_at(&self, bits: u32) -> u32 {
+        self.binades
+            .iter()
+            .filter(|b| b.frac_bits >= bits)
+            .count() as u32
+    }
+
+    /// Renders the profile as an ASCII staircase, one char per binade
+    /// (digit = fraction bits).
+    #[must_use]
+    pub fn ascii_row(&self, exp_lo: i32, exp_hi: i32) -> String {
+        let mut s = String::new();
+        for e in exp_lo..=exp_hi {
+            match self.binades.iter().find(|b| b.exp == e) {
+                Some(b) => s.push(char::from_digit(b.frac_bits.min(9), 10).unwrap_or('?')),
+                None => s.push('.'),
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fp8, Mersit, Posit};
+
+    #[test]
+    fn fp84_profile_matches_fig4() {
+        let p = PrecisionProfile::of(&Fp8::new(4).unwrap());
+        assert_eq!(p.exp_min(), -9);
+        assert_eq!(p.exp_max(), 7);
+        // Normal binades carry the full 3 fraction bits.
+        let normal = p.binades.iter().find(|b| b.exp == 0).unwrap();
+        assert_eq!(normal.frac_bits, 3);
+        // Subnormal staircase: the lowest binade has a single point.
+        let lowest = p.binades.iter().find(|b| b.exp == -9).unwrap();
+        assert_eq!(lowest.frac_bits, 0);
+        let sub = p.binades.iter().find(|b| b.exp == -7).unwrap();
+        assert_eq!(sub.frac_bits, 2);
+    }
+
+    #[test]
+    fn posit81_tapers_toward_extremes() {
+        let p = PrecisionProfile::of(&Posit::new(8, 1).unwrap());
+        assert_eq!(p.exp_min(), -12);
+        assert_eq!(p.exp_max(), 10);
+        assert_eq!(p.max_frac_bits(), 4);
+        // Center binades have 4 bits, extremes 0.
+        assert_eq!(p.binades.iter().find(|b| b.exp == 0).unwrap().frac_bits, 4);
+        assert_eq!(
+            p.binades.iter().find(|b| b.exp == 10).unwrap().frac_bits,
+            0
+        );
+    }
+
+    #[test]
+    fn mersit82_4bit_band_wider_than_posit81() {
+        // §3.2: "the range within which MERSIT(8,2) can maintain a 4-bit
+        // precision is broader than that of Posit(8,1)".
+        let m = PrecisionProfile::of(&Mersit::new(8, 2).unwrap());
+        let p = PrecisionProfile::of(&Posit::new(8, 1).unwrap());
+        assert!(m.band_width_at(4) > p.band_width_at(4));
+        // MERSIT(8,2): k ∈ {−1, 0} → effective exponents −3..2, six binades.
+        assert_eq!(m.band_width_at(4), 6);
+        // Posit(8,1): 4-bit fraction only at k ∈ {0, −1} → exponents −2..1.
+        assert_eq!(p.band_width_at(4), 4);
+    }
+
+    #[test]
+    fn binades_are_contiguous() {
+        for fmt in [
+            &Mersit::new(8, 2).unwrap() as &dyn crate::Format,
+            &Mersit::new(8, 3).unwrap(),
+            &Posit::new(8, 0).unwrap(),
+            &Fp8::new(3).unwrap(),
+        ] {
+            let p = PrecisionProfile::of(fmt);
+            for w in p.binades.windows(2) {
+                assert_eq!(w[1].exp, w[0].exp + 1, "{} has a gap", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_row_renders() {
+        let p = PrecisionProfile::of(&Mersit::new(8, 2).unwrap());
+        let row = p.ascii_row(-10, 9);
+        assert_eq!(row.len(), 20);
+        assert!(row.starts_with('.')); // −10 below range
+        assert!(row.contains('4'));
+    }
+}

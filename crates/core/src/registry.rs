@@ -1,0 +1,169 @@
+//! Name-based construction of formats and the paper's configuration sets.
+
+use crate::error::InvalidFormatError;
+use crate::format::Format;
+use crate::fp8::Fp8;
+use crate::int8::Int8;
+use crate::mersit::Mersit;
+use crate::posit::Posit;
+use std::sync::Arc;
+
+/// A reference-counted, dynamically typed format handle.
+pub type FormatRef = Arc<dyn Format>;
+
+/// Parses a format name like `"MERSIT(8,2)"`, `"Posit(8,1)"`, `"FP(8,4)"`,
+/// or `"INT8"` into a format instance.
+///
+/// # Errors
+///
+/// Returns an error for unknown names or invalid parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mersit_core::parse_format;
+///
+/// let f = parse_format("MERSIT(8,2)")?;
+/// assert_eq!(f.name(), "MERSIT(8,2)");
+/// assert!(parse_format("FP(8,9)").is_err());
+/// # Ok::<(), mersit_core::InvalidFormatError>(())
+/// ```
+pub fn parse_format(name: &str) -> Result<FormatRef, InvalidFormatError> {
+    let name = name.trim();
+    if name.eq_ignore_ascii_case("INT8") {
+        return Ok(Arc::new(Int8::new()));
+    }
+    let (kind, args) = name
+        .split_once('(')
+        .ok_or_else(|| InvalidFormatError::new(format!("unrecognized format name `{name}`")))?;
+    let args = args
+        .strip_suffix(')')
+        .ok_or_else(|| InvalidFormatError::new(format!("missing `)` in `{name}`")))?;
+    let nums: Vec<u32> = args
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| InvalidFormatError::new(format!("bad number in `{name}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 2 {
+        return Err(InvalidFormatError::new(format!(
+            "`{name}` needs exactly two parameters"
+        )));
+    }
+    let (n, e) = (nums[0], nums[1]);
+    match kind.trim().to_ascii_uppercase().as_str() {
+        "FP" => Ok(Arc::new(Fp8::with_bits(n, e)?)),
+        "POSIT" => Ok(Arc::new(Posit::new(n, e)?)),
+        "POSIT-STD" => Ok(Arc::new(Posit::standard(n, e)?)),
+        "MERSIT" => Ok(Arc::new(Mersit::new(n, e)?)),
+        other => Err(InvalidFormatError::new(format!(
+            "unknown format kind `{other}`"
+        ))),
+    }
+}
+
+/// The eleven 8-bit format columns of Table 2 (everything except FP32):
+/// INT8, FP(8,2..5), Posit(8,0..3), MERSIT(8,2..3), in paper order.
+///
+/// # Panics
+///
+/// Never panics; all configurations are valid by construction.
+#[must_use]
+pub fn table2_formats() -> Vec<FormatRef> {
+    let names = [
+        "INT8",
+        "FP(8,2)",
+        "FP(8,3)",
+        "FP(8,4)",
+        "FP(8,5)",
+        "Posit(8,0)",
+        "Posit(8,1)",
+        "Posit(8,2)",
+        "Posit(8,3)",
+        "MERSIT(8,2)",
+        "MERSIT(8,3)",
+    ];
+    names
+        .iter()
+        .map(|n| parse_format(n).expect("paper configurations are valid"))
+        .collect()
+}
+
+/// The three configurations selected for the hardware study (§4.3):
+/// FP(8,4), Posit(8,1), MERSIT(8,2).
+///
+/// # Panics
+///
+/// Never panics; all configurations are valid by construction.
+#[must_use]
+pub fn hardware_formats() -> Vec<FormatRef> {
+    ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"]
+        .iter()
+        .map(|n| parse_format(n).expect("paper configurations are valid"))
+        .collect()
+}
+
+/// The nine configurations compared in Fig. 4.
+///
+/// # Panics
+///
+/// Never panics; all configurations are valid by construction.
+#[must_use]
+pub fn fig4_formats() -> Vec<FormatRef> {
+    [
+        "FP(8,2)",
+        "FP(8,3)",
+        "FP(8,4)",
+        "FP(8,5)",
+        "Posit(8,0)",
+        "Posit(8,1)",
+        "Posit(8,2)",
+        "MERSIT(8,2)",
+        "MERSIT(8,3)",
+    ]
+    .iter()
+    .map(|n| parse_format(n).expect("paper configurations are valid"))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_paper_name() {
+        for f in table2_formats() {
+            let again = parse_format(&f.name()).unwrap();
+            assert_eq!(again.name(), f.name());
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(parse_format(" int8 ").unwrap().name(), "INT8");
+        assert_eq!(parse_format("mersit(8,3)").unwrap().name(), "MERSIT(8,3)");
+        assert_eq!(
+            parse_format("posit-std(8,1)").unwrap().name(),
+            "Posit-std(8,1)"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_names() {
+        assert!(parse_format("FP8").is_err());
+        assert!(parse_format("FP(8)").is_err());
+        assert!(parse_format("FP(8,4").is_err());
+        assert!(parse_format("FP(8,x)").is_err());
+        assert!(parse_format("GHOST(8,2)").is_err());
+        assert!(parse_format("MERSIT(9,2)").is_err());
+    }
+
+    #[test]
+    fn set_sizes() {
+        assert_eq!(table2_formats().len(), 11);
+        assert_eq!(hardware_formats().len(), 3);
+        assert_eq!(fig4_formats().len(), 9);
+    }
+}

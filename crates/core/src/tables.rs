@@ -1,0 +1,198 @@
+//! Textual enumeration of format code spaces — regenerates Table 1 of the
+//! paper (the full MERSIT(8,2) decoding table) for any MERSIT configuration,
+//! plus generic per-code dumps for any [`Format`].
+
+use crate::fields::ValueClass;
+use crate::format::Format;
+use crate::mersit::Mersit;
+
+/// One row of a Table-1-style decoding table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MersitTableRow {
+    /// Magnitude bit pattern `b(n−2)…b0` (sign excluded), rendered with
+    /// `x` for fraction positions, e.g. `"01101xx"`.
+    pub pattern: String,
+    /// Regime `k`, or `None` for the zero/∞ rows.
+    pub k: Option<i32>,
+    /// Exponent field value, or `None` for the zero/∞ rows.
+    pub exp: Option<u32>,
+    /// Effective exponent `(2^es−1)×k + exp`; `None` for zero/∞.
+    pub exp_eff: Option<i32>,
+    /// Number of fraction bits.
+    pub frac_bits: u32,
+    /// Special-row label: `"zero"` or `"±inf"`.
+    pub special: Option<&'static str>,
+}
+
+/// Generates the full Table-1 enumeration for a MERSIT format:
+/// one row per (k, exp) pair plus the zero and ±∞ rows, ordered by
+/// ascending effective exponent exactly as the paper prints it.
+///
+/// # Examples
+///
+/// ```
+/// use mersit_core::{Mersit, mersit_table};
+///
+/// let rows = mersit_table(&Mersit::new(8, 2)?);
+/// assert_eq!(rows.len(), 20); // 18 (k,exp) rows + zero + ±inf
+/// assert_eq!(rows[0].special, Some("zero"));
+/// assert_eq!(rows[1].exp_eff, Some(-9));
+/// assert_eq!(rows.last().unwrap().special, Some("±inf"));
+/// # Ok::<(), mersit_core::InvalidFormatError>(())
+/// ```
+#[must_use]
+pub fn mersit_table(m: &Mersit) -> Vec<MersitTableRow> {
+    let nb = m.bits() - 1; // ks + body bits shown in Table 1
+    let ones_pattern = |ks: u32| -> String {
+        let mut s = String::new();
+        s.push(if ks == 1 { '1' } else { '0' });
+        for _ in 0..(m.bits() - 2) {
+            s.push('1');
+        }
+        s
+    };
+    let mut rows = Vec::new();
+    rows.push(MersitTableRow {
+        pattern: ones_pattern(0),
+        k: None,
+        exp: None,
+        exp_eff: None,
+        frac_bits: 0,
+        special: Some("zero"),
+    });
+    let scale = m.regime_scale();
+    for k in m.regime_range() {
+        let fb = m.frac_bits_at(k);
+        for exp in 0..(1u32 << m.es()) - 1 {
+            let code = m.pack(false, k, exp, 0);
+            let mut pattern: String = format!("{:0width$b}", code, width = nb as usize);
+            // Replace the fraction positions by 'x'.
+            let len = pattern.len();
+            pattern.replace_range(
+                (len - fb as usize)..len,
+                &"x".repeat(fb as usize),
+            );
+            rows.push(MersitTableRow {
+                pattern,
+                k: Some(k),
+                exp: Some(exp),
+                exp_eff: Some(scale * k + exp as i32),
+                frac_bits: fb,
+                special: None,
+            });
+        }
+    }
+    rows.sort_by_key(|r| r.exp_eff.unwrap_or(i32::MIN));
+    rows.push(MersitTableRow {
+        pattern: ones_pattern(1),
+        k: None,
+        exp: None,
+        exp_eff: None,
+        frac_bits: 0,
+        special: Some("±inf"),
+    });
+    rows
+}
+
+/// Renders [`mersit_table`] as aligned text (the shape of Table 1).
+#[must_use]
+pub fn render_mersit_table(m: &Mersit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} decoding table (x: fraction bits, es = {})\n",
+        m.name(),
+        m.es()
+    ));
+    out.push_str("pattern      k    exp   eff   frac-bits\n");
+    for r in mersit_table(m) {
+        if let Some(s) = r.special {
+            out.push_str(&format!("{:<12} {:>28}\n", r.pattern, s));
+        } else {
+            out.push_str(&format!(
+                "{:<12} {:>3}   {:>3}   {:>3}   {:>3}\n",
+                r.pattern,
+                r.k.unwrap(),
+                r.exp.unwrap(),
+                r.exp_eff.unwrap(),
+                r.frac_bits
+            ));
+        }
+    }
+    out
+}
+
+/// One row of a generic code dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeRow {
+    /// The code word.
+    pub code: u16,
+    /// Classification.
+    pub class: ValueClass,
+    /// Decoded value.
+    pub value: f64,
+}
+
+/// Dumps every code of a format, ordered by code.
+#[must_use]
+pub fn code_dump(fmt: &dyn Format) -> Vec<CodeRow> {
+    fmt.codes()
+        .map(|c| {
+            let code = c as u16;
+            CodeRow {
+                code,
+                class: fmt.classify(code),
+                value: fmt.decode(code),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_patterns_match_paper() {
+        let m = Mersit::new(8, 2).unwrap();
+        let rows = mersit_table(&m);
+        let pats: Vec<&str> = rows.iter().map(|r| r.pattern.as_str()).collect();
+        // Spot-check the exact printed patterns of Table 1.
+        assert!(pats.contains(&"0111111")); // zero
+        assert!(pats.contains(&"0111100")); // eff −9
+        assert!(pats.contains(&"01101xx")); // eff −5
+        assert!(pats.contains(&"000xxxx")); // eff −3
+        assert!(pats.contains(&"100xxxx")); // eff 0
+        assert!(pats.contains(&"11101xx")); // eff 4
+        assert!(pats.contains(&"1111110")); // eff 8
+        assert!(pats.contains(&"1111111")); // ±inf
+    }
+
+    #[test]
+    fn table1_effs_ascend_from_minus9_to_8() {
+        let m = Mersit::new(8, 2).unwrap();
+        let effs: Vec<i32> = mersit_table(&m)
+            .iter()
+            .filter_map(|r| r.exp_eff)
+            .collect();
+        assert_eq!(effs, (-9..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn render_contains_header_and_specials() {
+        let m = Mersit::new(8, 2).unwrap();
+        let s = render_mersit_table(&m);
+        assert!(s.contains("MERSIT(8,2)"));
+        assert!(s.contains("zero"));
+        assert!(s.contains("±inf"));
+    }
+
+    #[test]
+    fn code_dump_covers_full_space() {
+        let m = Mersit::new(8, 2).unwrap();
+        let d = code_dump(&m);
+        assert_eq!(d.len(), 256);
+        let finite = d.iter().filter(|r| r.class == ValueClass::Finite).count();
+        // 256 − 2 zeros − 2 infinities
+        assert_eq!(finite, 252);
+    }
+}

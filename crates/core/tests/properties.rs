@@ -1,0 +1,227 @@
+//! Property-based tests over the format implementations: invariants that
+//! must hold for every configuration and every input.
+
+use mersit_core::{
+    table2_formats, Format, Fp8, Int8, Mersit, Posit, PositFlavor, UnderflowPolicy, ValueClass,
+};
+use proptest::prelude::*;
+
+/// All 8-bit configurations the paper evaluates, boxed.
+fn all_formats() -> Vec<mersit_core::FormatRef> {
+    let mut v = table2_formats();
+    v.push(std::sync::Arc::new(Posit::standard(8, 1).unwrap()));
+    v.push(std::sync::Arc::new(Mersit::new(8, 1).unwrap()));
+    v
+}
+
+proptest! {
+    /// `quantize` is idempotent: re-quantizing a representable value is a no-op.
+    #[test]
+    fn quantize_idempotent(x in -2000.0f64..2000.0) {
+        for f in all_formats() {
+            let q = f.quantize(x);
+            prop_assert_eq!(f.quantize(q), q, "{} at {}", f.name(), x);
+        }
+    }
+
+    /// Quantization error is at most half the local step (nearest rounding),
+    /// bounded by half an ulp at the format's worst in-range precision.
+    #[test]
+    fn quantize_is_nearest(x in 1e-3f64..100.0) {
+        for f in all_formats() {
+            if x > f.max_finite() { continue; }
+            let q = f.quantize(x);
+            // The next / previous representable values must not be closer.
+            let better: Vec<f64> = f.codes()
+                .filter(|&c| f.classify(c as u16) == ValueClass::Finite)
+                .map(|c| f.decode(c as u16))
+                .filter(|v| (v - x).abs() < (q - x).abs() - 1e-15)
+                .collect();
+            prop_assert!(better.is_empty(),
+                "{}: {} quantized to {} but {:?} are closer", f.name(), x, q, better);
+        }
+    }
+
+    /// Quantization is odd-symmetric: q(−x) = −q(x) for every format
+    /// (all lattices are sign-symmetric).
+    #[test]
+    fn quantize_odd_symmetry(x in 0.0f64..1500.0) {
+        for f in all_formats() {
+            prop_assert_eq!(f.quantize(-x), -f.quantize(x), "{}", f.name());
+        }
+    }
+
+    /// Quantization is monotone non-decreasing.
+    #[test]
+    fn quantize_monotone(a in -1500.0f64..1500.0, b in -1500.0f64..1500.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for f in all_formats() {
+            prop_assert!(f.quantize(lo) <= f.quantize(hi),
+                "{}: q({}) > q({})", f.name(), lo, hi);
+        }
+    }
+
+    /// Saturating formats never emit a value outside the finite range for
+    /// finite input.
+    #[test]
+    fn finite_in_finite_out(x in -1e12f64..1e12) {
+        for f in all_formats() {
+            let q = f.quantize(x);
+            prop_assert!(q.is_finite(), "{} produced {}", f.name(), q);
+            prop_assert!(q.abs() <= f.max_finite());
+        }
+    }
+
+    /// Posit-family formats never round a non-zero value to zero.
+    #[test]
+    fn posit_like_never_flushes(x in prop::num::f64::NORMAL) {
+        for f in all_formats() {
+            if f.underflow_policy() == UnderflowPolicy::SaturateToMinPos && x != 0.0 {
+                prop_assert!(f.quantize(x) != 0.0,
+                    "{} flushed {} to zero", f.name(), x);
+            }
+        }
+    }
+
+    /// Field decoding agrees with value decoding on every finite code.
+    #[test]
+    fn fields_match_decode(code in 0u16..256) {
+        for f in all_formats() {
+            if f.classify(code) == ValueClass::Finite {
+                let d = f.fields(code).unwrap();
+                let v = f.decode(code);
+                prop_assert!((d.value() - v).abs() <= v.abs() * 1e-12,
+                    "{} code {:#x}: fields say {}, decode says {}",
+                    f.name(), code, d.value(), v);
+            } else {
+                prop_assert!(f.fields(code).is_none());
+            }
+        }
+    }
+
+    /// Standard and paper Posit agree on every positive finite magnitude.
+    #[test]
+    fn posit_flavors_share_lattice(code in 0u16..128) {
+        for es in 0..=3u32 {
+            let paper = Posit::new(8, es).unwrap();
+            let std_ = Posit::with_flavor(8, es, PositFlavor::Standard).unwrap();
+            if paper.classify(code) == ValueClass::Finite {
+                prop_assert_eq!(paper.decode(code), std_.decode(code),
+                    "es={} code={:#x}", es, code);
+            }
+        }
+    }
+
+    /// MERSIT pack/fields round-trip under arbitrary field choices.
+    #[test]
+    fn mersit_pack_fields_roundtrip(
+        k in -3i32..=2,
+        exp in 0u32..3,
+        frac in 0u32..16,
+        sign in any::<bool>(),
+    ) {
+        let m = Mersit::new(8, 2).unwrap();
+        let fb = m.frac_bits_at(k);
+        let frac = frac & ((1u32 << fb) - 1);
+        let code = m.pack(sign, k, exp, frac);
+        let d = m.fields(code).unwrap();
+        prop_assert_eq!(d.regime, Some(k));
+        prop_assert_eq!(d.exp_raw, exp);
+        prop_assert_eq!(d.frac, frac);
+        prop_assert_eq!(d.sign, sign);
+    }
+
+    /// INT8 quantize equals round-half-even clamped to ±127.
+    #[test]
+    fn int8_matches_reference(x in -300.0f64..300.0) {
+        let i = Int8::new();
+        let expect = x.round_ties_even().clamp(-127.0, 127.0);
+        prop_assert_eq!(i.quantize(x), expect);
+    }
+
+    /// FP8 decode agrees with a f64 reconstruction from first principles.
+    #[test]
+    fn fp8_decode_reference(code in 0u16..256, e in 1u32..=6) {
+        let f = Fp8::new(e).unwrap();
+        let m = 7 - e;
+        let bias = (1i32 << (e - 1)) - 1;
+        let sign = if code & 0x80 != 0 { -1.0 } else { 1.0 };
+        let ef = (u32::from(code) >> m) & ((1 << e) - 1);
+        let fr = u32::from(code) & ((1 << m) - 1);
+        let emax = (1u32 << e) - 1;
+        if ef == emax {
+            if fr == 0 {
+                prop_assert_eq!(f.decode(code), sign * f64::INFINITY);
+            } else {
+                prop_assert!(f.decode(code).is_nan());
+            }
+        } else if ef == 0 {
+            let expect = sign * f64::from(fr) * 2f64.powi(1 - bias - m as i32);
+            prop_assert_eq!(f.decode(code), expect);
+        } else {
+            let expect = sign
+                * (1.0 + f64::from(fr) / f64::from(1u32 << m))
+                * 2f64.powi(ef as i32 - bias);
+            prop_assert_eq!(f.decode(code), expect);
+        }
+    }
+}
+
+#[test]
+fn mersit_value_count_matches_posit() {
+    // Both MERSIT(8,2) and Posit(8,1) have 252 finite non-zero codes:
+    // same code-space utilization, different allocation.
+    for f in [
+        &Mersit::new(8, 2).unwrap() as &dyn Format,
+        &Posit::new(8, 1).unwrap(),
+    ] {
+        let finite = f
+            .codes()
+            .filter(|&c| f.classify(c as u16) == ValueClass::Finite)
+            .count();
+        assert_eq!(finite, 252, "{}", f.name());
+    }
+}
+
+#[test]
+fn every_format_decodes_all_256_codes_without_panic() {
+    for f in all_formats() {
+        for c in f.codes() {
+            let _ = f.decode(c as u16);
+            let _ = f.classify(c as u16);
+            let _ = f.fields(c as u16);
+        }
+    }
+}
+
+/// Differential check: `encode` agrees with brute-force nearest-value
+/// search over a dense magnitude grid, for every configuration.
+#[test]
+fn encode_matches_brute_force_nearest() {
+    for f in all_formats() {
+        // All positive finite lattice values.
+        let lattice: Vec<f64> = f
+            .codes()
+            .filter(|&c| f.classify(c as u16) == ValueClass::Finite)
+            .map(|c| f.decode(c as u16))
+            .filter(|&v| v > 0.0)
+            .collect();
+        let max = f.max_finite();
+        let mut x = max * 1e-5;
+        while x < max {
+            let q = f.quantize(x);
+            let best = lattice
+                .iter()
+                .map(|&v| (v - x).abs())
+                .fold(f64::INFINITY, f64::min);
+            let got = (q - x).abs();
+            // Nearest up to tie-breaking (and zero under FlushToZero).
+            assert!(
+                got <= best + 1e-12 || (q == 0.0 && x < lattice[0]),
+                "{}: quantize({x}) = {q}, |err| {got} but nearest is {best}",
+                f.name()
+            );
+            x *= 1.37;
+        }
+    }
+}

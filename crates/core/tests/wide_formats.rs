@@ -1,0 +1,100 @@
+//! The format implementations generalize beyond the paper's 8-bit scope:
+//! 16-bit MERSIT/Posit/FP configurations as an extension study.
+
+use mersit_core::{Format, Fp8, MacParams, Mersit, Posit, PrecisionProfile, ValueClass};
+
+#[test]
+fn mersit16_2_round_trips_every_code() {
+    let m = Mersit::new(16, 2).unwrap();
+    assert_eq!(m.groups(), 7);
+    for code in m.codes() {
+        let code = code as u16;
+        if m.classify(code) != ValueClass::Finite {
+            continue;
+        }
+        let v = m.decode(code);
+        assert_eq!(m.decode(m.encode(v)), v, "code {code:#x}");
+    }
+}
+
+#[test]
+fn mersit16_2_exponents_are_contiguous() {
+    let m = Mersit::new(16, 2).unwrap();
+    // k ∈ −7..=6, exp ∈ 0..=2 → effective exponents −21..=20.
+    assert_eq!(m.exp_eff_range(), -21..=20);
+    assert_eq!(m.min_positive(), 2f64.powi(-21));
+    assert_eq!(m.max_finite(), 2f64.powi(20));
+    // Peak fraction precision: (G−1)·es = 12 bits.
+    assert_eq!(m.max_frac_bits(), 12);
+}
+
+#[test]
+fn posit16_matches_known_encodings() {
+    let p = Posit::standard(16, 1).unwrap();
+    assert_eq!(p.decode(0x4000), 1.0);
+    assert_eq!(p.decode(0x5000), 2.0);
+    assert_eq!(p.decode(0xC000), -1.0);
+    assert!(p.decode(0x8000).is_nan()); // NaR
+    // minpos of standard posit(16,1) = 2^-28.
+    assert_eq!(p.min_positive(), 2f64.powi(-28));
+}
+
+#[test]
+fn wider_formats_nest_the_8bit_lattice() {
+    // Every MERSIT(8,2) value is representable in MERSIT(16,2):
+    // same regime structure with more fraction bits.
+    let m8 = Mersit::new(8, 2).unwrap();
+    let m16 = Mersit::new(16, 2).unwrap();
+    for code in m8.codes() {
+        let code = code as u16;
+        if m8.classify(code) != ValueClass::Finite {
+            continue;
+        }
+        let v = m8.decode(code);
+        assert_eq!(
+            m16.decode(m16.encode(v)),
+            v,
+            "MERSIT(8,2) value {v} not exact in MERSIT(16,2)"
+        );
+    }
+}
+
+#[test]
+fn mersit16_precision_band_vs_posit16() {
+    // The §3.2 band argument scales with width: MERSIT's full-precision
+    // plateau stays wider than Posit's at 16 bits too.
+    let m = PrecisionProfile::of(&Mersit::new(16, 2).unwrap());
+    let p = PrecisionProfile::of(&Posit::new(16, 1).unwrap());
+    let mb = m.max_frac_bits();
+    let pb = p.max_frac_bits();
+    assert_eq!(mb, 12);
+    assert_eq!(pb, 12);
+    assert!(
+        m.band_width_at(mb) > p.band_width_at(pb),
+        "MERSIT plateau {} vs Posit {}",
+        m.band_width_at(mb),
+        p.band_width_at(pb)
+    );
+}
+
+#[test]
+fn fp16_like_configuration() {
+    // FP(16,5) is IEEE-half-like: check a few familiar values.
+    let f = Fp8::with_bits(16, 5).unwrap();
+    assert_eq!(f.decode(0x3C00), 1.0);
+    assert_eq!(f.decode(0x4000), 2.0);
+    assert_eq!(f.decode(0xC000), -2.0);
+    assert_eq!(f.decode(0x7C00), f64::INFINITY);
+    assert_eq!(f.max_finite(), 65504.0);
+    assert_eq!(f.min_positive(), 2f64.powi(-24));
+}
+
+#[test]
+fn mac_params_scale_with_width() {
+    let m16 = MacParams::of(&Mersit::new(16, 2).unwrap());
+    assert_eq!(m16.w, 2 * (21 + 20) + 1);
+    assert_eq!(m16.m, 13);
+    let p16 = MacParams::of(&Posit::new(16, 1).unwrap());
+    assert_eq!(p16.m, 13);
+    assert!(p16.w > m16.w, "posit16 needs the wider accumulator");
+}

@@ -1,0 +1,266 @@
+//! Workload-driven area / power evaluation of multipliers and MACs —
+//! the engine behind Fig. 7 and Table 3.
+//!
+//! Power follows the paper's methodology: the synthesized design is
+//! simulated with *actual DNN operand data* and the average switching
+//! activity is converted to power at 100 MHz.
+
+use crate::mac::{scopes as mac_scopes, MacUnit};
+use crate::mult::{scopes as mult_scopes, standalone_multiplier};
+use crate::ports::Decoder;
+use mersit_core::Format;
+use mersit_netlist::{AreaReport, PowerReport, Simulator};
+use std::fmt;
+
+/// Area and power of one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Average power in µW at 100 MHz.
+    pub power_uw: f64,
+}
+
+impl fmt::Display for BlockCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:8.1} um^2  {:8.2} uW", self.area_um2, self.power_uw)
+    }
+}
+
+/// The Table 3 structure: multiplier broken into decoder / exponent adder /
+/// fraction multiplier.
+#[derive(Debug, Clone)]
+pub struct MultiplierBreakdown {
+    /// Format name.
+    pub name: String,
+    /// The two decoders.
+    pub decoder: BlockCost,
+    /// The signed exponent adder.
+    pub exp_adder: BlockCost,
+    /// The unsigned fraction multiplier.
+    pub frac_mul: BlockCost,
+    /// Whole multiplier (including the sign XOR and flag gates).
+    pub total: BlockCost,
+}
+
+/// The Fig. 7 structure: the full MAC broken into its main stages.
+#[derive(Debug, Clone)]
+pub struct MacBreakdown {
+    /// Format name.
+    pub name: String,
+    /// The multiplier (decoders included).
+    pub multiplier: BlockCost,
+    /// Just the decoder pair.
+    pub decoder: BlockCost,
+    /// The alignment shifter.
+    pub aligner: BlockCost,
+    /// The Kulisch accumulator (adder + register).
+    pub accumulator: BlockCost,
+    /// Whole MAC.
+    pub total: BlockCost,
+    /// Accumulator width (W + V).
+    pub acc_width: usize,
+}
+
+/// Encodes parallel weight/activation samples into operand-pair streams.
+/// The two slices are cycled to equal length.
+///
+/// # Panics
+///
+/// Panics if either slice is empty.
+#[must_use]
+pub fn encode_stream(fmt: &dyn Format, weights: &[f64], acts: &[f64]) -> Vec<(u16, u16)> {
+    assert!(!weights.is_empty() && !acts.is_empty(), "empty operand data");
+    let n = weights.len().max(acts.len());
+    (0..n)
+        .map(|i| {
+            (
+                fmt.encode(weights[i % weights.len()]),
+                fmt.encode(acts[i % acts.len()]),
+            )
+        })
+        .collect()
+}
+
+/// A deterministic xorshift stream of roughly-Gaussian samples (sum of four
+/// uniforms), handy for synthetic workloads.
+#[must_use]
+pub fn gaussian_samples(n: usize, std: f64, seed: u64) -> Vec<f64> {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / f64::from(1u32 << 21) / f64::from(1u32 << 21) / 2048.0
+    };
+    (0..n)
+        .map(|_| {
+            let u: f64 = (0..4).map(|_| next()).sum::<f64>() - 2.0;
+            u * std * 1.732 // var of sum of 4 uniforms = 1/3
+        })
+        .collect()
+}
+
+fn costs(area: &AreaReport, power: &PowerReport, prefix: &str) -> BlockCost {
+    BlockCost {
+        area_um2: area.scope_area(prefix),
+        power_uw: power.scope_power(prefix),
+    }
+}
+
+/// Evaluates a standalone multiplier on an operand stream (Table 3 row).
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+#[must_use]
+pub fn multiplier_cost(dec: &dyn Decoder, stream: &[(u16, u16)]) -> MultiplierBreakdown {
+    assert!(!stream.is_empty(), "empty operand stream");
+    let (nl, w, a, _) = standalone_multiplier(dec);
+    let mut sim = Simulator::new(&nl);
+    for &(wc, ac) in stream {
+        sim.set(&w, u64::from(wc));
+        sim.set(&a, u64::from(ac));
+        sim.step();
+    }
+    let area = AreaReport::of(&nl);
+    let power = PowerReport::at_100mhz(&sim);
+    let root = nl.name().to_owned();
+    let mp = format!("{root}/{}", mult_scopes::MULTIPLIER);
+    MultiplierBreakdown {
+        name: dec.name(),
+        decoder: costs(&area, &power, &format!("{mp}/{}", mult_scopes::DECODER)),
+        exp_adder: costs(&area, &power, &format!("{mp}/{}", mult_scopes::EXP_ADDER)),
+        frac_mul: costs(&area, &power, &format!("{mp}/{}", mult_scopes::FRAC_MUL)),
+        total: BlockCost {
+            area_um2: area.total_um2,
+            power_uw: power.total_uw(),
+        },
+    }
+}
+
+/// Evaluates a full MAC on an operand stream (Fig. 7 bar).
+///
+/// The accumulator is cleared every `dot_len` operands, modelling repeated
+/// dot products.
+///
+/// # Panics
+///
+/// Panics on an empty stream or `dot_len == 0`.
+#[must_use]
+pub fn mac_cost(dec: &dyn Decoder, stream: &[(u16, u16)], dot_len: usize) -> MacBreakdown {
+    mac_cost_with_margin(dec, stream, dot_len, crate::mac::DEFAULT_V_OVF)
+}
+
+/// [`mac_cost`] with an explicit overflow margin.
+///
+/// # Panics
+///
+/// Panics on an empty stream or `dot_len == 0`.
+#[must_use]
+pub fn mac_cost_with_margin(
+    dec: &dyn Decoder,
+    stream: &[(u16, u16)],
+    dot_len: usize,
+    v_ovf: u32,
+) -> MacBreakdown {
+    assert!(!stream.is_empty(), "empty operand stream");
+    assert!(dot_len > 0, "dot_len must be positive");
+    let mac = MacUnit::build_with_margin(dec, v_ovf);
+    let mut sim = Simulator::new(&mac.netlist);
+    sim.reset();
+    for (i, &(wc, ac)) in stream.iter().enumerate() {
+        sim.set(&mac.clear, u64::from(i % dot_len == 0));
+        sim.set(&mac.w_code, u64::from(wc));
+        sim.set(&mac.a_code, u64::from(ac));
+        sim.clock();
+    }
+    let area = AreaReport::of(&mac.netlist);
+    let power = PowerReport::at_100mhz(&sim);
+    let root = mac.netlist.name().to_owned();
+    let mp = format!("{root}/{}", mult_scopes::MULTIPLIER);
+    MacBreakdown {
+        name: mac.format_name.clone(),
+        multiplier: costs(&area, &power, &mp),
+        decoder: costs(&area, &power, &format!("{mp}/{}", mult_scopes::DECODER)),
+        aligner: costs(&area, &power, &format!("{root}/{}", mac_scopes::ALIGNER)),
+        accumulator: costs(&area, &power, &format!("{root}/{}", mac_scopes::ACCUMULATOR)),
+        total: BlockCost {
+            area_um2: area.total_um2,
+            power_uw: power.total_uw(),
+        },
+        acc_width: mac.acc_width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dec_fp8::Fp8Decoder;
+    use crate::dec_mersit::MersitDecoder;
+    use crate::dec_posit::PositDecoder;
+    use mersit_core::{Fp8, Mersit, Posit};
+
+    fn stream_for(fmt: &dyn Format) -> Vec<(u16, u16)> {
+        let w = gaussian_samples(200, 0.05, 7);
+        let a = gaussian_samples(200, 1.0, 13);
+        encode_stream(fmt, &w, &a)
+    }
+
+    #[test]
+    fn gaussian_samples_are_deterministic_and_centered() {
+        let a = gaussian_samples(2000, 1.0, 42);
+        let b = gaussian_samples(2000, 1.0, 42);
+        assert_eq!(a, b);
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        let var = a.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / a.len() as f64;
+        assert!((var - 1.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn table3_shape_posit_decoder_dominates() {
+        let fp = Fp8::new(4).unwrap();
+        let po = Posit::new(8, 1).unwrap();
+        let me = Mersit::new(8, 2).unwrap();
+        let c_fp = multiplier_cost(&Fp8Decoder::new(fp.clone()), &stream_for(&fp));
+        let c_po = multiplier_cost(&PositDecoder::new(po.clone()), &stream_for(&po));
+        let c_me = multiplier_cost(&MersitDecoder::new(me.clone()), &stream_for(&me));
+        // Table 3 ordering: MERSIT decoder < FP decoder < Posit decoder.
+        assert!(c_me.decoder.area_um2 < c_fp.decoder.area_um2);
+        assert!(c_fp.decoder.area_um2 < c_po.decoder.area_um2);
+        // Posit multiplier total well above the other two.
+        assert!(c_po.total.area_um2 > 1.2 * c_me.total.area_um2);
+        assert!(c_po.total.area_um2 > 1.2 * c_fp.total.area_um2);
+    }
+
+    #[test]
+    fn fig7_shape_posit_mac_largest() {
+        let fp = Fp8::new(4).unwrap();
+        let po = Posit::new(8, 1).unwrap();
+        let me = Mersit::new(8, 2).unwrap();
+        let c_fp = mac_cost(&Fp8Decoder::new(fp.clone()), &stream_for(&fp), 32);
+        let c_po = mac_cost(&PositDecoder::new(po.clone()), &stream_for(&po), 32);
+        let c_me = mac_cost(&MersitDecoder::new(me.clone()), &stream_for(&me), 32);
+        // Fig. 7: Posit MAC area and power well above FP8 and MERSIT.
+        assert!(c_po.total.area_um2 > c_me.total.area_um2);
+        assert!(c_po.total.area_um2 > c_fp.total.area_um2);
+        assert!(c_po.total.power_uw > c_me.total.power_uw);
+        // MERSIT's W=35 vs FP's W=33: slightly larger than FP8 but close.
+        assert!(c_me.total.area_um2 > c_fp.total.area_um2);
+        assert!(c_me.total.area_um2 < 1.5 * c_fp.total.area_um2);
+        // Breakdown sums are bounded by the total.
+        for c in [&c_fp, &c_po, &c_me] {
+            let sum = c.multiplier.area_um2 + c.aligner.area_um2 + c.accumulator.area_um2;
+            assert!(sum <= c.total.area_um2 + 1e-6, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn encode_stream_cycles_shorter_slice() {
+        let f = Mersit::new(8, 2).unwrap();
+        let s = encode_stream(&f, &[1.0], &[0.5, 0.25, 0.125]);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&(w, _)| w == f.encode(1.0)));
+    }
+}

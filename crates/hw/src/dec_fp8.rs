@@ -1,0 +1,185 @@
+//! The FP8 hardware decoder — exponent biasing plus subnormal
+//! normalization.
+//!
+//! As the paper notes (§4.3), the FP decoder "occupies a non-negligible
+//! area … as it deals with subnormal numbers and exponent biasing". The
+//! `P = 5` exponent width of FP(8,4) in Fig. 2 implies subnormals are
+//! *normalized* by the decoder (effective exponents reach −9, below the
+//! subnormal field exponent of −6), so this decoder includes a fraction
+//! LZC, a normalization shifter and the exponent adjust path.
+
+use crate::ports::{Decoder, DecoderOutputs};
+use mersit_core::{Format, Fp8, MacParams};
+use mersit_netlist::{Bus, Netlist};
+
+/// Generates FP(8,E) decoders.
+#[derive(Debug, Clone)]
+pub struct Fp8Decoder {
+    fmt: Fp8,
+}
+
+impl Fp8Decoder {
+    /// Wraps an FP8 format (must be 8 bits wide).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is not 8 bits.
+    #[must_use]
+    pub fn new(fmt: Fp8) -> Self {
+        assert_eq!(fmt.bits(), 8, "hardware decoders are 8-bit");
+        Self { fmt }
+    }
+
+    /// The wrapped format.
+    #[must_use]
+    pub fn format(&self) -> &Fp8 {
+        &self.fmt
+    }
+}
+
+impl Decoder for Fp8Decoder {
+    fn name(&self) -> String {
+        self.fmt.name()
+    }
+
+    fn params(&self) -> MacParams {
+        MacParams::of(&self.fmt)
+    }
+
+    fn build(&self, nl: &mut Netlist, code: &Bus) -> DecoderOutputs {
+        assert_eq!(code.width(), 8, "code bus must be 8 bits");
+        let mb = self.fmt.frac_bits() as usize; // fraction field width
+        let m = self.params().m as usize; // = mb + 1
+        let p = self.params().p as usize;
+        let bias = i64::from(self.fmt.bias());
+
+        let sign = code.bit(7);
+        let f = code.slice(0, mb);
+        let e = code.slice(mb, 7);
+
+        // Specials.
+        let is_special = nl.scoped("special", |nl| nl.is_ones(&e));
+        let is_e0 = nl.scoped("special", |nl| nl.is_zero(&e));
+        let f_zero = nl.scoped("special", |nl| nl.is_zero(&f));
+        let is_zero = nl.and2(is_e0, f_zero);
+        let nsp = nl.not(is_special);
+        let nz = nl.not(is_zero);
+        let finite = nl.and2(nsp, nz);
+
+        // Normal path: exp_eff = e − bias ; sig = {1, f}.
+        let (exp_norm, sig_norm) = nl.scoped("bias", |nl| {
+            let ez = nl.zext(&e, p);
+            let negb = nl.lit(p, (-bias as u64) & ((1 << p) - 1));
+            let (exp_norm, _) = nl.ripple_add(&ez, &negb, None);
+            let mut sig = f.0.clone();
+            sig.push(mersit_netlist::CONST1);
+            (exp_norm, Bus(sig))
+        });
+
+        // Subnormal path: normalize — lz = LZC(f), sig = f << (lz+1),
+        // exp_eff = −bias − lz.
+        let (exp_sub, sig_sub) = nl.scoped("subnormal", |nl| {
+            let lz = nl.leading_zero_count(&f);
+            let fz4 = nl.zext(&f, m);
+            let sh = nl.increment(&lz);
+            let sig_sub = nl.barrel_shl(&fz4, &sh);
+            let negb = nl.lit(p, (-bias as u64) & ((1 << p) - 1));
+            let lzp = nl.zext(&lz, p);
+            let (exp_sub, _) = nl.ripple_sub(&negb, &lzp);
+            (exp_sub, sig_sub)
+        });
+
+        // Select per the exponent-field-zero flag, then gate by finiteness.
+        let exp_eff = nl.mux2_bus(is_e0, &exp_sub, &exp_norm);
+        let sig_pre = nl.mux2_bus(is_e0, &sig_sub, &sig_norm);
+        let sig = Bus(sig_pre.iter().map(|&b| nl.and2(b, finite)).collect());
+
+        DecoderOutputs {
+            sign,
+            exp_eff,
+            sig,
+            is_zero,
+            is_special,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::standalone_decoder;
+    use mersit_core::ValueClass;
+    use mersit_netlist::Simulator;
+
+    fn check_against_golden(e: u32) {
+        let fmt = Fp8::new(e).unwrap();
+        let dec = Fp8Decoder::new(fmt.clone());
+        let (nl, code, out) = standalone_decoder(&dec);
+        let mut sim = Simulator::new(&nl);
+        let m = dec.params().m as i64;
+        for c in 0..256u16 {
+            sim.set(&code, u64::from(c));
+            sim.step();
+            match fmt.classify(c) {
+                ValueClass::Finite => {
+                    let d = fmt.fields(c).unwrap();
+                    // The hardware normalizes subnormals; compare by value,
+                    // which is invariant under normalization.
+                    let hw_exp = sim.get_signed(&out.exp_eff);
+                    let hw_sig = sim.get(&out.sig) as i64;
+                    let hw_mag = hw_sig as f64 * 2f64.powi((hw_exp - (m - 1)) as i32);
+                    assert!(
+                        (hw_mag - d.magnitude()).abs() < 1e-15,
+                        "FP(8,{e}) code {c:#010b}: hw {hw_mag} vs golden {}",
+                        d.magnitude()
+                    );
+                    // Hidden bit must be set (normalized) for finite values.
+                    assert_eq!(hw_sig >> (m - 1), 1, "code {c:#010b} not normalized");
+                    assert_eq!(sim.peek_output("sign"), u64::from(d.sign));
+                    assert_eq!(sim.peek_output("is_zero"), 0);
+                    assert_eq!(sim.peek_output("is_special"), 0);
+                }
+                ValueClass::Zero => {
+                    assert_eq!(sim.peek_output("is_zero"), 1, "code {c:#010b}");
+                    assert_eq!(sim.get(&out.sig), 0);
+                }
+                ValueClass::Infinite | ValueClass::Nan => {
+                    assert_eq!(sim.peek_output("is_special"), 1, "code {c:#010b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp84_decoder_matches_golden_on_all_codes() {
+        check_against_golden(4);
+    }
+
+    #[test]
+    fn fp83_decoder_matches_golden_on_all_codes() {
+        check_against_golden(3);
+    }
+
+    #[test]
+    fn fp85_decoder_matches_golden_on_all_codes() {
+        check_against_golden(5);
+    }
+
+    #[test]
+    fn fp82_decoder_matches_golden_on_all_codes() {
+        check_against_golden(2);
+    }
+
+    #[test]
+    fn subnormal_normalization_reaches_emin() {
+        // FP(8,4) min subnormal 2^-9 must decode to exp_eff −9, sig 1000.
+        let fmt = Fp8::new(4).unwrap();
+        let dec = Fp8Decoder::new(fmt);
+        let (nl, code, out) = standalone_decoder(&dec);
+        let mut sim = Simulator::new(&nl);
+        sim.set(&code, 0b0_0000_001);
+        sim.step();
+        assert_eq!(sim.get_signed(&out.exp_eff), -9);
+        assert_eq!(sim.get(&out.sig), 0b1000);
+    }
+}

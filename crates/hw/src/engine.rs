@@ -1,0 +1,238 @@
+//! A multi-lane dot-product engine: `N` format multipliers feeding one
+//! Kulisch accumulator through an alignment stage and a signed adder tree —
+//! the accelerator-tile shape a MERSIT/Posit/FP8 MAC would actually be
+//! deployed in. Extends the paper's single-MAC comparison (Fig. 7) to the
+//! regime where the accumulator cost is amortized across lanes.
+
+use crate::mult::build_multiplier;
+use crate::ports::Decoder;
+use mersit_core::MacParams;
+use mersit_netlist::{Bus, Netlist};
+
+/// Scope names inside the engine.
+pub mod scopes {
+    /// Per-lane alignment shifters.
+    pub const ALIGN: &str = "align";
+    /// The signed adder tree.
+    pub const TREE: &str = "tree";
+    /// The Kulisch accumulator.
+    pub const ACCUMULATOR: &str = "accumulator";
+}
+
+/// A synthesized `N`-lane dot-product engine.
+#[derive(Debug)]
+pub struct DotEngine {
+    /// The gate-level design.
+    pub netlist: Netlist,
+    /// Per-lane weight code inputs.
+    pub w_codes: Vec<Bus>,
+    /// Per-lane activation code inputs.
+    pub a_codes: Vec<Bus>,
+    /// Synchronous accumulator clear.
+    pub clear: Bus,
+    /// Accumulator output (two's complement; LSB weight
+    /// `2^(2·e_min − (2M−2))`).
+    pub acc: Bus,
+    /// Format MAC parameters.
+    pub params: MacParams,
+    /// Number of lanes.
+    pub lanes: usize,
+    /// Accumulator width.
+    pub acc_width: usize,
+}
+
+impl DotEngine {
+    /// Builds an `N`-lane engine with `v_ovf` accumulation headroom bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not a power of two, or the accumulator exceeds
+    /// the 63-bit simulation limit.
+    #[must_use]
+    pub fn build(dec: &dyn Decoder, lanes: usize, v_ovf: u32) -> Self {
+        assert!(lanes.is_power_of_two() && lanes >= 2, "lanes must be 2^k >= 2");
+        let params = dec.params();
+        // One exact product spans W + 2M − 2 bits; the tree adds log2(N)
+        // plus one sign bit.
+        let lane_w = (params.w + 2 * params.m - 2) as usize;
+        let tree_w = lane_w + lanes.trailing_zeros() as usize + 1;
+        let acc_width = tree_w + v_ovf as usize;
+        assert!(
+            acc_width <= 63,
+            "accumulator of {acc_width} bits exceeds the 63-bit simulation limit"
+        );
+        let mut nl = Netlist::new(format!(
+            "dot{lanes}_{}",
+            crate::ports::sanitize(&dec.name())
+        ));
+        let mut w_codes = Vec::with_capacity(lanes);
+        let mut a_codes = Vec::with_capacity(lanes);
+        for l in 0..lanes {
+            w_codes.push(nl.input(format!("w{l}"), 8));
+            a_codes.push(nl.input(format!("a{l}"), 8));
+        }
+        let clear = nl.input("clear", 1);
+
+        // Lane products, aligned into the accumulator frame and signed.
+        let mut lane_vals: Vec<Bus> = Vec::with_capacity(lanes);
+        for l in 0..lanes {
+            let mult = nl.scoped(format!("lane{l}"), |nl| {
+                build_multiplier(nl, dec, &w_codes[l], &a_codes[l])
+            });
+            let aligned = nl.scoped(scopes::ALIGN, |nl| {
+                let p1 = mult.exp_sum.width();
+                let bias = -2 * i64::from(params.e_min);
+                let bias_lit = nl.lit(p1, (bias as u64) & ((1u64 << p1) - 1));
+                let (shift_full, _) = nl.ripple_add(&mult.exp_sum, &bias_lit, None);
+                let sh_w = (64 - u64::from(params.w - 1).leading_zeros()) as usize;
+                let shift = shift_full.slice(0, sh_w);
+                let wide = nl.zext(&mult.prod, lane_w);
+                nl.barrel_shl(&wide, &shift)
+            });
+            // Conditional negation into tree width: zero-extend the
+            // (unsigned) aligned product first, then two's-complement
+            // negate across the full tree width when the sign is set.
+            let signed = nl.scoped(scopes::TREE, |nl| {
+                let wide = nl.zext(&aligned, tree_w);
+                let x = Bus(wide
+                    .iter()
+                    .map(|&b| nl.xor2(b, mult.sign))
+                    .collect::<Vec<_>>());
+                let zero = nl.lit(tree_w, 0);
+                let (v, _) = nl.ripple_add(&x, &zero, Some(mult.sign));
+                v
+            });
+            lane_vals.push(signed);
+        }
+
+        // Signed adder tree.
+        let tree_out = nl.scoped(scopes::TREE, |nl| {
+            let mut layer = lane_vals;
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len() / 2);
+                for pair in layer.chunks(2) {
+                    let a = nl.sext(&pair[0], tree_w);
+                    let b = nl.sext(&pair[1], tree_w);
+                    let (s, _) = nl.ripple_add(&a, &b, None);
+                    next.push(s);
+                }
+                layer = next;
+            }
+            layer.pop().expect("non-empty tree")
+        });
+
+        // Kulisch accumulator.
+        let acc = nl.scoped(scopes::ACCUMULATOR, |nl| {
+            let (ids, q) = nl.dff_bus_uninit(acc_width);
+            let t = nl.sext(&tree_out, acc_width);
+            let (sum, _) = nl.ripple_add(&q, &t, None);
+            let nclear = nl.not(clear.bit(0));
+            let next = Bus(sum.iter().map(|&b| nl.and2(b, nclear)).collect::<Vec<_>>());
+            nl.connect_dff_bus(&ids, &next);
+            q
+        });
+        nl.output("acc", &acc);
+        Self {
+            netlist: nl,
+            w_codes,
+            a_codes,
+            clear,
+            acc,
+            params,
+            lanes,
+            acc_width,
+        }
+    }
+
+    /// LSB weight exponent of the accumulator.
+    #[must_use]
+    pub fn acc_lsb_exp(&self) -> i32 {
+        2 * self.params.e_min - (2 * self.params.m as i32 - 2)
+    }
+
+    /// Converts a signed accumulator reading to its real value.
+    #[must_use]
+    pub fn acc_value(&self, raw: i64) -> f64 {
+        raw as f64 * 2f64.powi(self.acc_lsb_exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dec_mersit::MersitDecoder;
+    use crate::dec_posit::PositDecoder;
+    use crate::golden::GoldenMac;
+    use mersit_core::{Format, Mersit, Posit};
+    use mersit_netlist::Simulator;
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *seed >> 33
+    }
+
+    fn check_engine(dec: &dyn Decoder, fmt: &dyn Format, lanes: usize) {
+        let eng = DotEngine::build(dec, lanes, 6);
+        let mut golden = GoldenMac::new(fmt, eng.acc_width);
+        let mut sim = Simulator::new(&eng.netlist);
+        sim.reset();
+        sim.set(&eng.clear, 1);
+        sim.clock();
+        sim.set(&eng.clear, 0);
+        let mut seed = 0xD07u64;
+        for step in 0..12 {
+            for l in 0..lanes {
+                let w = (lcg(&mut seed) & 0xFF) as u16;
+                let a = (lcg(&mut seed) & 0xFF) as u16;
+                sim.set(&eng.w_codes[l], u64::from(w));
+                sim.set(&eng.a_codes[l], u64::from(a));
+                golden.mac(w, a);
+            }
+            sim.clock();
+            assert_eq!(
+                sim.get_signed(&eng.acc),
+                golden.acc_raw(),
+                "{} lanes={lanes} step {step}",
+                fmt.name()
+            );
+        }
+        let got = eng.acc_value(sim.get_signed(&eng.acc));
+        assert!((got - golden.value_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mersit_engine_matches_golden_2_and_4_lanes() {
+        let f = Mersit::new(8, 2).unwrap();
+        let dec = MersitDecoder::new(f.clone());
+        check_engine(&dec, &f, 2);
+        check_engine(&dec, &f, 4);
+    }
+
+    #[test]
+    fn posit_engine_matches_golden() {
+        let f = Posit::new(8, 1).unwrap();
+        check_engine(&PositDecoder::new(f.clone()), &f, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes must be 2^k")]
+    fn rejects_non_power_of_two_lanes() {
+        let f = Mersit::new(8, 2).unwrap();
+        let _ = DotEngine::build(&MersitDecoder::new(f), 3, 6);
+    }
+
+    #[test]
+    fn amortization_shrinks_per_mac_cost() {
+        use mersit_netlist::AreaReport;
+        let f = Mersit::new(8, 2).unwrap();
+        let dec = MersitDecoder::new(f);
+        let one = crate::mac::MacUnit::build_with_margin(&dec, 6);
+        let four = DotEngine::build(&dec, 4, 6);
+        let a1 = AreaReport::of(&one.netlist).total_um2;
+        let a4 = AreaReport::of(&four.netlist).total_um2 / 4.0;
+        assert!(
+            a4 < a1,
+            "per-lane engine area {a4:.0} should undercut standalone MAC {a1:.0}"
+        );
+    }
+}

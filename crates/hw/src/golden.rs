@@ -1,0 +1,141 @@
+//! Bit-exact software reference of the Kulisch MAC — the golden model the
+//! gate-level designs are verified against, and the fast path for streaming
+//! large DNN workloads when only activity statistics are needed.
+
+use mersit_core::{Format, MacParams, ValueClass};
+
+/// Software mirror of [`crate::mac::MacUnit`]: identical accumulator
+/// semantics (same LSB weight, same wrap-around width).
+#[derive(Debug)]
+pub struct GoldenMac<'a> {
+    fmt: &'a dyn Format,
+    params: MacParams,
+    acc: i128,
+    acc_width: usize,
+    /// Exact f64 dot product of the decoded operand values (for checking
+    /// Kulisch exactness).
+    dot_f64: f64,
+}
+
+impl<'a> GoldenMac<'a> {
+    /// Creates a golden MAC for `fmt` with an `acc_width`-bit accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc_width` exceeds 127 bits.
+    #[must_use]
+    pub fn new(fmt: &'a dyn Format, acc_width: usize) -> Self {
+        assert!(acc_width < 128, "accumulator too wide for i128");
+        Self {
+            fmt,
+            params: MacParams::of(fmt),
+            acc: 0,
+            acc_width,
+            dot_f64: 0.0,
+        }
+    }
+
+    /// Clears the accumulator.
+    pub fn clear(&mut self) {
+        self.acc = 0;
+        self.dot_f64 = 0.0;
+    }
+
+    /// Accumulates one `w × a` product (8-bit codes).
+    pub fn mac(&mut self, w_code: u16, a_code: u16) {
+        if self.fmt.classify(w_code) != ValueClass::Finite
+            || self.fmt.classify(a_code) != ValueClass::Finite
+        {
+            return; // zero or special-gated: no contribution
+        }
+        let dw = self.fmt.fields(w_code).expect("finite");
+        let da = self.fmt.fields(a_code).expect("finite");
+        let shift = dw.exp_eff + da.exp_eff - 2 * self.params.e_min;
+        debug_assert!(shift >= 0, "alignment shift must be non-negative");
+        let prod = i128::from(dw.sig) * i128::from(da.sig);
+        let contrib = prod << shift;
+        let signed = if dw.sign ^ da.sign { -contrib } else { contrib };
+        self.acc = wrap(self.acc + signed, self.acc_width);
+        self.dot_f64 += dw.value() * da.value();
+    }
+
+    /// Raw accumulator contents as a sign-extended `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is wider than 63 bits.
+    #[must_use]
+    pub fn acc_raw(&self) -> i64 {
+        assert!(self.acc_width <= 63, "raw read limited to 63 bits");
+        self.acc as i64
+    }
+
+    /// The accumulator interpreted as a real value.
+    #[must_use]
+    pub fn acc_value(&self) -> f64 {
+        self.acc as f64 * 2f64.powi(2 * self.params.e_min - (2 * self.params.m as i32 - 2))
+    }
+
+    /// The exact f64 dot product of the decoded operands.
+    #[must_use]
+    pub fn value_f64(&self) -> f64 {
+        self.dot_f64
+    }
+}
+
+/// Wraps `v` to `width`-bit two's complement.
+fn wrap(v: i128, width: usize) -> i128 {
+    let m = 1i128 << width;
+    let x = v.rem_euclid(m);
+    if x >= m / 2 {
+        x - m
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mersit_core::Mersit;
+
+    #[test]
+    fn golden_matches_f64_dot_product() {
+        let f = Mersit::new(8, 2).unwrap();
+        let mut g = GoldenMac::new(&f, 52);
+        let pairs = [(0x45u16, 0x92u16), (0x10, 0x20), (0xC4, 0x33), (0x7E, 0x81)];
+        for (w, a) in pairs {
+            g.mac(w, a);
+        }
+        assert!((g.acc_value() - g.value_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_special_contribute_nothing() {
+        let f = Mersit::new(8, 2).unwrap();
+        let mut g = GoldenMac::new(&f, 52);
+        g.mac(0x3F, 0x45); // zero × finite
+        g.mac(0x7F, 0x45); // inf × finite
+        assert_eq!(g.acc_raw(), 0);
+    }
+
+    #[test]
+    fn wrap_behaves_like_twos_complement() {
+        assert_eq!(wrap(7, 3), -1);
+        assert_eq!(wrap(8, 3), 0);
+        assert_eq!(wrap(-9, 3), -1);
+        assert_eq!(wrap(3, 3), 3);
+        assert_eq!(wrap(-4, 3), -4);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let f = Mersit::new(8, 2).unwrap();
+        let mut g = GoldenMac::new(&f, 52);
+        g.mac(0x45, 0x45);
+        assert_ne!(g.acc_raw(), 0);
+        g.clear();
+        assert_eq!(g.acc_raw(), 0);
+        assert_eq!(g.value_f64(), 0.0);
+    }
+}

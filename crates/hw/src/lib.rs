@@ -1,0 +1,147 @@
+//! # mersit-hw — gate-level MAC units for FP8 / Posit8 / MERSIT8
+//!
+//! This crate synthesizes (to the `mersit-netlist` cell library) the MAC
+//! architecture of the paper's Fig. 2 for each data format:
+//!
+//! * [`dec_mersit::MersitDecoder`] — the merged (grouped) decoding scheme of
+//!   §3.3 / Fig. 5, including the first-zero detector and `k×(2^es−1)` unit;
+//! * [`dec_posit::PositDecoder`] — 1-bit-resolution regime decoding
+//!   (bitwise normalize → LZC → full barrel shift);
+//! * [`dec_fp8::Fp8Decoder`] — exponent biasing plus subnormal
+//!   normalization;
+//! * [`mult::build_multiplier`] — decoder pair + signed exponent adder +
+//!   unsigned fraction multiplier (the Table 3 unit);
+//! * [`mac::MacUnit`] — multiplier + aligner + Kulisch accumulator
+//!   (the Fig. 7 unit);
+//! * [`cost`] — workload-driven area/power evaluation at 100 MHz.
+//!
+//! Every gate-level block is cross-verified against the bit-exact
+//! `mersit-core` golden models over the full 8-bit code space.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mersit_core::Mersit;
+//! use mersit_hw::{dec_mersit::MersitDecoder, mac::MacUnit};
+//! use mersit_netlist::Simulator;
+//!
+//! let fmt = Mersit::new(8, 2)?;
+//! let mac = MacUnit::build(&MersitDecoder::new(fmt.clone()));
+//! let mut sim = Simulator::new(&mac.netlist);
+//! sim.reset();
+//! // accumulate 2.0 × 1.5
+//! use mersit_core::Format;
+//! sim.set(&mac.w_code, u64::from(fmt.encode(2.0)));
+//! sim.set(&mac.a_code, u64::from(fmt.encode(1.5)));
+//! sim.set(&mac.clear, 0);
+//! sim.clock();
+//! assert_eq!(mac.acc_value(sim.get_signed(&mac.acc)), 3.0);
+//! # Ok::<(), mersit_core::InvalidFormatError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap,
+    clippy::cast_precision_loss,
+    clippy::must_use_candidate,
+    clippy::module_name_repetitions,
+    clippy::doc_markdown,
+    clippy::float_cmp,
+    clippy::many_single_char_names,
+    clippy::unreadable_literal,
+    clippy::match_same_arms,
+    clippy::missing_panics_doc,
+    clippy::unusual_byte_groupings,
+    clippy::too_many_lines,
+    clippy::cast_lossless,
+    clippy::similar_names
+)]
+
+pub mod cost;
+pub mod dec_fp8;
+pub mod dec_mersit;
+pub mod dec_posit;
+pub mod engine;
+pub mod golden;
+pub mod lzd;
+pub mod mac;
+pub mod mult;
+pub mod ports;
+pub mod requant;
+
+pub use cost::{encode_stream, gaussian_samples, mac_cost, mac_cost_with_margin, multiplier_cost, BlockCost, MacBreakdown, MultiplierBreakdown};
+pub use dec_fp8::Fp8Decoder;
+pub use dec_mersit::MersitDecoder;
+pub use dec_posit::PositDecoder;
+pub use engine::DotEngine;
+pub use golden::GoldenMac;
+pub use mac::MacUnit;
+pub use requant::MersitRequantizer;
+pub use ports::{standalone_decoder, Decoder, DecoderOutputs};
+
+use mersit_core::{parse_format, InvalidFormatError};
+
+/// Builds the decoder generator for a format by name
+/// (`"FP(8,4)"`, `"Posit(8,1)"`, `"MERSIT(8,2)"`, …).
+///
+/// # Errors
+///
+/// Returns an error for unknown names, non-8-bit formats, or formats
+/// without a hardware decoder (INT8 needs none).
+pub fn decoder_for(name: &str) -> Result<Box<dyn Decoder>, InvalidFormatError> {
+    // Parse through the registry for uniform validation, then rebuild the
+    // concrete format.
+    let fmt = parse_format(name)?;
+    let n = fmt.name();
+    if let Some(args) = n.strip_prefix("MERSIT(") {
+        let (b, e) = split_args(args)?;
+        return Ok(Box::new(MersitDecoder::new(mersit_core::Mersit::new(b, e)?)));
+    }
+    if let Some(args) = n.strip_prefix("Posit(") {
+        let (b, e) = split_args(args)?;
+        return Ok(Box::new(PositDecoder::new(mersit_core::Posit::new(b, e)?)));
+    }
+    if let Some(args) = n.strip_prefix("FP(") {
+        let (b, e) = split_args(args)?;
+        return Ok(Box::new(Fp8Decoder::new(mersit_core::Fp8::with_bits(b, e)?)));
+    }
+    Err(InvalidFormatError::new(format!(
+        "no hardware decoder for `{n}`"
+    )))
+}
+
+fn split_args(args: &str) -> Result<(u32, u32), InvalidFormatError> {
+    let args = args.trim_end_matches(')');
+    let mut it = args.split(',');
+    let b = it
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| InvalidFormatError::new("bad format args"))?;
+    let e = it
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| InvalidFormatError::new("bad format args"))?;
+    Ok((b, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_for_all_hardware_formats() {
+        for name in ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)", "MERSIT(8,3)"] {
+            let d = decoder_for(name).unwrap();
+            assert_eq!(d.name(), name);
+        }
+    }
+
+    #[test]
+    fn decoder_for_rejects_unknown() {
+        assert!(decoder_for("INT8").is_err());
+        assert!(decoder_for("GHOST(8,1)").is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The two "particularly challenging" decoder sub-blocks of §3.3 / Fig. 5b:
+//! the small leading-zero detector over the EC AND-flags, and the
+//! `k × (2^es − 1)` effective-exponent unit.
+
+use mersit_netlist::{Bus, NetId, Netlist, CONST0};
+
+/// Result of the first-zero detector over EC flags.
+#[derive(Debug, Clone)]
+pub struct FirstZero {
+    /// One-hot select: `sel[g]` is set when group `g` is the exponent EC.
+    pub sel: Vec<NetId>,
+    /// Binary index of the exponent EC.
+    pub index: Bus,
+    /// Set when *no* group contains a zero (the zero / ±∞ patterns).
+    pub none: NetId,
+}
+
+/// Builds the first-zero detector of the MERSIT decoding scheme: `flags[g]`
+/// is the AND of EC `g`'s bits (`1` = all ones); the detector finds the
+/// first `0`, MSB group first. For MERSIT(8,2) this is the "3-bit LZD unit"
+/// of Fig. 5b.
+///
+/// # Panics
+///
+/// Panics on an empty flag list.
+#[must_use]
+pub fn first_zero_detector(nl: &mut Netlist, flags: &[NetId]) -> FirstZero {
+    assert!(!flags.is_empty(), "no EC flags");
+    let g_count = flags.len();
+    let index_w = (usize::BITS - (g_count - 1).leading_zeros()).max(1) as usize;
+    let mut sel = Vec::with_capacity(g_count);
+    // prefix[g] = flags[0..g] all ones (i.e. no zero seen before g).
+    let mut prefix: NetId = mersit_netlist::CONST1;
+    for (g, &fl) in flags.iter().enumerate() {
+        let nfl = nl.not(fl);
+        let here = if g == 0 { nfl } else { nl.and2(prefix, nfl) };
+        sel.push(here);
+        prefix = if g == 0 { fl } else { nl.and2(prefix, fl) };
+    }
+    let none = prefix;
+    // Binary index: bit j = OR of sel[g] for g with bit j set.
+    let mut index = Vec::with_capacity(index_w);
+    for j in 0..index_w {
+        let terms: Vec<NetId> = sel
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| (g >> j) & 1 == 1)
+            .map(|(_, &s)| s)
+            .collect();
+        index.push(if terms.is_empty() {
+            CONST0
+        } else {
+            nl.or_reduce(&terms)
+        });
+    }
+    FirstZero {
+        sel,
+        index: Bus(index),
+        none,
+    }
+}
+
+/// Builds the `k × (2^es − 1)` unit: multiplies the signed regime `k` by the
+/// constant `2^es − 1`, producing an `out_width`-bit signed result
+/// (`(k << es) − k`, the "×3" structure of Fig. 5b when `es = 2`).
+///
+/// # Panics
+///
+/// Panics if `es == 0` or `out_width` is narrower than `k`.
+#[must_use]
+pub fn k_times_scale(nl: &mut Netlist, k: &Bus, es: u32, out_width: usize) -> Bus {
+    assert!(es >= 1, "es must be at least 1");
+    assert!(out_width >= k.width(), "output narrower than k");
+    if es == 1 {
+        // scale = 1: identity.
+        return nl.sext(k, out_width);
+    }
+    // (k << es) − k in out_width bits.
+    let shifted = {
+        let mut v = vec![CONST0; es as usize];
+        v.extend_from_slice(&k.0);
+        nl.sext(&Bus(v), out_width)
+    };
+    let kx = nl.sext(k, out_width);
+    let (diff, _) = nl.ripple_sub(&shifted, &kx);
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mersit_netlist::Simulator;
+
+    #[test]
+    fn first_zero_all_positions() {
+        let mut nl = Netlist::new("t");
+        let f = nl.input("f", 3);
+        let fz = first_zero_detector(&mut nl, &[f.bit(0), f.bit(1), f.bit(2)]);
+        nl.output("sel", &Bus(fz.sel.clone()));
+        nl.output("idx", &fz.index);
+        nl.output("none", &Bus(vec![fz.none]));
+        let mut sim = Simulator::new(&nl);
+        for v in 0..8u64 {
+            sim.set(&f, v);
+            sim.step();
+            // flags order: f.bit(0) is group 0 (checked first)
+            let flags = [(v) & 1, (v >> 1) & 1, (v >> 2) & 1];
+            let first = flags.iter().position(|&b| b == 0);
+            if let Some(g) = first {
+                assert_eq!(sim.peek_output("sel"), 1 << g, "v={v:03b}");
+                assert_eq!(sim.peek_output("idx"), g as u64, "v={v:03b}");
+                assert_eq!(sim.peek_output("none"), 0);
+            } else {
+                assert_eq!(sim.peek_output("sel"), 0);
+                assert_eq!(sim.peek_output("none"), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn first_zero_single_flag() {
+        let mut nl = Netlist::new("t");
+        let f = nl.input("f", 1);
+        let fz = first_zero_detector(&mut nl, &[f.bit(0)]);
+        assert_eq!(fz.index.width(), 1);
+        nl.output("none", &Bus(vec![fz.none]));
+        nl.output("idx", &fz.index);
+        let mut sim = Simulator::new(&nl);
+        sim.set(&f, 0);
+        sim.step();
+        assert_eq!(sim.peek_output("none"), 0);
+        sim.set(&f, 1);
+        sim.step();
+        assert_eq!(sim.peek_output("none"), 1);
+    }
+
+    #[test]
+    fn k_times_3_matches_reference() {
+        // es=2 → ×3, the exact Fig. 5b unit for MERSIT(8,2).
+        let mut nl = Netlist::new("t");
+        let k = nl.input("k", 3);
+        let r = k_times_scale(&mut nl, &k, 2, 5);
+        nl.output("r", &r);
+        let mut sim = Simulator::new(&nl);
+        for kv in -4i64..4 {
+            sim.set(&k, (kv as u64) & 0b111);
+            sim.step();
+            assert_eq!(sim.get_signed(&r), 3 * kv, "k={kv}");
+        }
+    }
+
+    #[test]
+    fn k_times_7_and_identity() {
+        let mut nl = Netlist::new("t");
+        let k = nl.input("k", 2);
+        let r7 = k_times_scale(&mut nl, &k, 3, 5);
+        let r1 = k_times_scale(&mut nl, &k, 1, 5);
+        nl.output("r7", &r7);
+        nl.output("r1", &r1);
+        let mut sim = Simulator::new(&nl);
+        for kv in -2i64..2 {
+            sim.set(&k, (kv as u64) & 0b11);
+            sim.step();
+            assert_eq!(sim.get_signed(&r7), 7 * kv, "k={kv}");
+            assert_eq!(sim.get_signed(&r1), kv, "k={kv}");
+        }
+    }
+}

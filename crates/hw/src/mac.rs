@@ -1,0 +1,243 @@
+//! The full MAC unit of Fig. 2: format multiplier → aligner → Kulisch
+//! fixed-point accumulator.
+//!
+//! The accumulator register is `W + V` bits wide, where
+//! `W = 2(|e_min| + e_max) + 1` is the paper's product-range span and the
+//! overflow/precision margin `V` covers both the `2M − 2` sub-binade
+//! product bits (so accumulation is Kulisch-exact) and `V_OVF` extra bits
+//! of headroom for long dot products. Every format gets the identical
+//! treatment, preserving the paper's relative comparison.
+
+use crate::mult::{build_multiplier, MultiplierPorts};
+use crate::ports::Decoder;
+use mersit_core::MacParams;
+use mersit_netlist::{Bus, GateId, Netlist};
+
+/// Scope names inside the MAC (for report queries).
+pub mod scopes {
+    /// The alignment shifter.
+    pub const ALIGNER: &str = "aligner";
+    /// The Kulisch accumulator (adder + register).
+    pub const ACCUMULATOR: &str = "accumulator";
+}
+
+/// Default overflow-headroom bits (supports ≥ `2^10` accumulations).
+pub const DEFAULT_V_OVF: u32 = 10;
+
+/// A synthesized MAC unit with its port handles.
+#[derive(Debug)]
+pub struct MacUnit {
+    /// The gate-level design.
+    pub netlist: Netlist,
+    /// Weight code input (8 bits).
+    pub w_code: Bus,
+    /// Activation code input (8 bits).
+    pub a_code: Bus,
+    /// Synchronous accumulator clear input (1 bit).
+    pub clear: Bus,
+    /// Accumulator output, `acc_width` bits two's complement, LSB weight
+    /// `2^(2·e_min − (2M − 2))`.
+    pub acc: Bus,
+    /// MAC sizing parameters of the format.
+    pub params: MacParams,
+    /// Total accumulator width in bits.
+    pub acc_width: usize,
+    /// Register gate ids (for introspection).
+    pub acc_regs: Vec<GateId>,
+    /// Format name.
+    pub format_name: String,
+}
+
+impl MacUnit {
+    /// Builds the MAC for `dec` with the default overflow margin.
+    #[must_use]
+    pub fn build(dec: &dyn Decoder) -> Self {
+        Self::build_with_margin(dec, DEFAULT_V_OVF)
+    }
+
+    /// Builds the MAC with `v_ovf` bits of accumulation headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator would exceed 63 bits (simulation reads the
+    /// accumulator through `i64`).
+    #[must_use]
+    pub fn build_with_margin(dec: &dyn Decoder, v_ovf: u32) -> Self {
+        let params = dec.params();
+        let acc_width = Self::acc_width_for(&params, v_ovf);
+        assert!(
+            acc_width <= 63,
+            "accumulator of {acc_width} bits exceeds the 63-bit simulation limit"
+        );
+        let mut nl = Netlist::new(format!("mac_{}", crate::ports::sanitize(&dec.name())));
+        let w_code = nl.input("w", 8);
+        let a_code = nl.input("a", 8);
+        let clear = nl.input("clear", 1);
+
+        let mult: MultiplierPorts = build_multiplier(&mut nl, dec, &w_code, &a_code);
+
+        // Aligner: shift the product so bit 0 carries weight
+        // 2^(2·e_min − (2M−2)); shift amount = exp_sum − 2·e_min.
+        let aligned = nl.scoped(scopes::ALIGNER, |nl| {
+            let p1 = mult.exp_sum.width();
+            let bias = -2 * i64::from(params.e_min);
+            let bias_lit = nl.lit(p1, (bias as u64) & ((1u64 << p1) - 1));
+            let (shift_full, _) = nl.ripple_add(&mult.exp_sum, &bias_lit, None);
+            // Shift ∈ [0, W−1]; width of the shift amount bus:
+            let sh_w = (64 - u64::from(params.w - 1).leading_zeros()) as usize;
+            let shift = shift_full.slice(0, sh_w);
+            let prod_wide = nl.zext(&mult.prod, acc_width);
+            nl.barrel_shl(&prod_wide, &shift)
+        });
+
+        // Accumulator: acc' = clear ? 0 : acc + (sign ? −aligned : aligned).
+        let (acc_regs, acc) = nl.scoped(scopes::ACCUMULATOR, |nl| {
+            let (ids, q) = nl.dff_bus_uninit(acc_width);
+            // Conditional negation: XOR with sign, +sign as carry-in.
+            let x = Bus(
+                aligned
+                    .iter()
+                    .map(|&b| nl.xor2(b, mult.sign))
+                    .collect::<Vec<_>>(),
+            );
+            let (sum, _) = nl.ripple_add(&q, &x, Some(mult.sign));
+            let nclear = nl.not(clear.bit(0));
+            let next = Bus(sum.iter().map(|&b| nl.and2(b, nclear)).collect::<Vec<_>>());
+            nl.connect_dff_bus(&ids, &next);
+            (ids, q)
+        });
+
+        nl.output("acc", &acc);
+        Self {
+            netlist: nl,
+            w_code,
+            a_code,
+            clear,
+            acc,
+            params,
+            acc_width,
+            acc_regs,
+            format_name: dec.name(),
+        }
+    }
+
+    /// The accumulator width for given parameters and margin:
+    /// `W + (2M − 2) + v_ovf`.
+    #[must_use]
+    pub fn acc_width_for(params: &MacParams, v_ovf: u32) -> usize {
+        (params.w + 2 * params.m - 2 + v_ovf) as usize
+    }
+
+    /// LSB weight exponent of the accumulator:
+    /// `2·e_min − (2M − 2)`.
+    #[must_use]
+    pub fn acc_lsb_exp(&self) -> i32 {
+        2 * self.params.e_min - (2 * self.params.m as i32 - 2)
+    }
+
+    /// Converts a signed accumulator reading to its real value.
+    #[must_use]
+    pub fn acc_value(&self, raw: i64) -> f64 {
+        raw as f64 * 2f64.powi(self.acc_lsb_exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dec_fp8::Fp8Decoder;
+    use crate::dec_mersit::MersitDecoder;
+    use crate::dec_posit::PositDecoder;
+    use crate::golden::GoldenMac;
+    use mersit_core::{Format, Fp8, Mersit, Posit};
+    use mersit_netlist::Simulator;
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    fn check_mac_against_golden(dec: &dyn Decoder, fmt: &dyn Format) {
+        let mac = MacUnit::build(dec);
+        let mut golden = GoldenMac::new(fmt, mac.acc_width);
+        let mut sim = Simulator::new(&mac.netlist);
+        sim.reset();
+        let mut seed = 0xC0FFEE;
+        // Three dot products of 40 random operand pairs each.
+        for _ in 0..3 {
+            sim.set(&mac.clear, 1);
+            sim.clock();
+            golden.clear();
+            assert_eq!(sim.get_signed(&mac.acc), 0);
+            sim.set(&mac.clear, 0);
+            for _ in 0..40 {
+                let wc = (lcg(&mut seed) & 0xFF) as u16;
+                let ac = (lcg(&mut seed) & 0xFF) as u16;
+                sim.set(&mac.w_code, u64::from(wc));
+                sim.set(&mac.a_code, u64::from(ac));
+                sim.clock();
+                golden.mac(wc, ac);
+                assert_eq!(
+                    sim.get_signed(&mac.acc),
+                    golden.acc_raw(),
+                    "{} after ({wc:#x},{ac:#x})",
+                    mac.format_name
+                );
+            }
+            // And the real value must match an f64 dot product of the
+            // decoded values exactly (Kulisch exactness).
+            let expect = golden.value_f64();
+            let got = mac.acc_value(sim.get_signed(&mac.acc));
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "{}: {got} vs {expect}",
+                mac.format_name
+            );
+        }
+    }
+
+    #[test]
+    fn mersit82_mac_matches_golden() {
+        let f = Mersit::new(8, 2).unwrap();
+        check_mac_against_golden(&MersitDecoder::new(f.clone()), &f);
+    }
+
+    #[test]
+    fn posit81_mac_matches_golden() {
+        let f = Posit::new(8, 1).unwrap();
+        check_mac_against_golden(&PositDecoder::new(f.clone()), &f);
+    }
+
+    #[test]
+    fn fp84_mac_matches_golden() {
+        let f = Fp8::new(4).unwrap();
+        check_mac_against_golden(&Fp8Decoder::new(f.clone()), &f);
+    }
+
+    #[test]
+    fn acc_widths_follow_fig2() {
+        // W = 33 / 45 / 35 per Fig. 2, plus 2M−2 product bits + margin.
+        let fp = MacUnit::build(&Fp8Decoder::new(Fp8::new(4).unwrap()));
+        assert_eq!(fp.acc_width, 33 + 6 + 10);
+        let po = MacUnit::build(&PositDecoder::new(Posit::new(8, 1).unwrap()));
+        assert_eq!(po.acc_width, 45 + 8 + 10);
+        let me = MacUnit::build(&MersitDecoder::new(Mersit::new(8, 2).unwrap()));
+        assert_eq!(me.acc_width, 35 + 8 + 10);
+    }
+
+    #[test]
+    fn clear_zeroes_accumulator() {
+        let f = Mersit::new(8, 2).unwrap();
+        let mac = MacUnit::build(&MersitDecoder::new(f.clone()));
+        let mut sim = Simulator::new(&mac.netlist);
+        sim.reset();
+        sim.set(&mac.w_code, u64::from(f.encode(1.0)));
+        sim.set(&mac.a_code, u64::from(f.encode(1.0)));
+        sim.set(&mac.clear, 0);
+        sim.clock();
+        assert!(sim.get_signed(&mac.acc) > 0);
+        sim.set(&mac.clear, 1);
+        sim.clock();
+        assert_eq!(sim.get_signed(&mac.acc), 0);
+    }
+}

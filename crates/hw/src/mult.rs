@@ -1,0 +1,187 @@
+//! The format multiplier of Fig. 2: two decoders, a signed exponent adder
+//! and an unsigned fraction multiplier (plus the sign XOR).
+//!
+//! Table 3 of the paper breaks a multiplier down into exactly these three
+//! components; [`build_multiplier`] tags each with its own scope so the
+//! area/power reports can reproduce that breakdown.
+
+use crate::ports::{Decoder, DecoderOutputs};
+use mersit_core::MacParams;
+use mersit_netlist::{Bus, NetId, Netlist};
+
+/// Output ports of a format multiplier.
+#[derive(Debug, Clone)]
+pub struct MultiplierPorts {
+    /// Sign of the product.
+    pub sign: NetId,
+    /// Sum of effective exponents, `P+1`-bit signed.
+    pub exp_sum: Bus,
+    /// Unsigned significand product, `2M` bits.
+    pub prod: Bus,
+    /// Product is exactly zero (either operand zero or special-gated).
+    pub is_zero: NetId,
+    /// Either operand was ±∞ / NaN.
+    pub is_special: NetId,
+    /// Decoder outputs of the weight operand.
+    pub dec_w: DecoderOutputs,
+    /// Decoder outputs of the activation operand.
+    pub dec_a: DecoderOutputs,
+}
+
+/// Scope names used inside the multiplier (for report queries).
+pub mod scopes {
+    /// The decoder pair.
+    pub const DECODER: &str = "decoder";
+    /// The signed exponent adder.
+    pub const EXP_ADDER: &str = "exp_adder";
+    /// The unsigned fraction multiplier.
+    pub const FRAC_MUL: &str = "frac_mul";
+    /// The sign XOR.
+    pub const SIGN: &str = "sign";
+    /// The whole multiplier.
+    pub const MULTIPLIER: &str = "multiplier";
+}
+
+/// Instantiates a format multiplier inside the caller's current scope,
+/// consuming two 8-bit code buses (`w` = weight, `a` = activation).
+pub fn build_multiplier(
+    nl: &mut Netlist,
+    dec: &dyn Decoder,
+    w_code: &Bus,
+    a_code: &Bus,
+) -> MultiplierPorts {
+    nl.scoped(scopes::MULTIPLIER, |nl| {
+        let (dec_w, dec_a) = nl.scoped(scopes::DECODER, |nl| {
+            let w = nl.scoped("w", |nl| dec.build(nl, w_code));
+            let a = nl.scoped("a", |nl| dec.build(nl, a_code));
+            (w, a)
+        });
+        let sign = nl.scoped(scopes::SIGN, |nl| nl.xor2(dec_w.sign, dec_a.sign));
+        let exp_sum = nl.scoped(scopes::EXP_ADDER, |nl| {
+            nl.signed_add(&dec_w.exp_eff, &dec_a.exp_eff)
+        });
+        let prod = nl.scoped(scopes::FRAC_MUL, |nl| nl.array_mul(&dec_w.sig, &dec_a.sig));
+        let is_zero = nl.or2(dec_w.is_zero, dec_a.is_zero);
+        let is_special = nl.or2(dec_w.is_special, dec_a.is_special);
+        MultiplierPorts {
+            sign,
+            exp_sum,
+            prod,
+            is_zero,
+            is_special,
+            dec_w,
+            dec_a,
+        }
+    })
+}
+
+/// Builds a standalone multiplier netlist (the Table 3 unit), with output
+/// ports for functional checking.
+pub fn standalone_multiplier(dec: &dyn Decoder) -> (Netlist, Bus, Bus, MultiplierPorts) {
+    let mut nl = Netlist::new(format!("mult_{}", crate::ports::sanitize(&dec.name())));
+    let w = nl.input("w", 8);
+    let a = nl.input("a", 8);
+    let ports = build_multiplier(&mut nl, dec, &w, &a);
+    nl.output("sign", &Bus(vec![ports.sign]));
+    nl.output("exp_sum", &ports.exp_sum);
+    nl.output("prod", &ports.prod);
+    nl.output("is_zero", &Bus(vec![ports.is_zero]));
+    (nl, w, a, ports)
+}
+
+/// Checks the structural widths of a multiplier against [`MacParams`].
+#[must_use]
+pub fn multiplier_widths(params: &MacParams) -> (usize, usize) {
+    ((params.p + 1) as usize, (2 * params.m) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dec_fp8::Fp8Decoder;
+    use crate::dec_mersit::MersitDecoder;
+    use crate::dec_posit::PositDecoder;
+    use mersit_core::{Format, Fp8, Mersit, Posit, ValueClass};
+    use mersit_netlist::Simulator;
+
+    // `exact_sig`: golden fields match hardware significands bit-exactly
+    // (true for Posit/MERSIT; FP8 hardware normalizes subnormals, so for
+    // FP8 the product is checked by value only).
+    fn check_multiplier(dec: &dyn Decoder, fmt: &dyn Format, exact_sig: bool) {
+        let (nl, w, a, ports) = standalone_multiplier(dec);
+        let params = dec.params();
+        let (exp_w, prod_w) = multiplier_widths(&params);
+        assert_eq!(ports.exp_sum.width(), exp_w);
+        assert_eq!(ports.prod.width(), prod_w);
+        let mut sim = Simulator::new(&nl);
+        let m = params.m as i64;
+        // Deterministic subset of the 65536 pairs: stride the space.
+        for wc in (0..256u16).step_by(7) {
+            for ac in (0..256u16).step_by(11) {
+                sim.set(&w, u64::from(wc));
+                sim.set(&a, u64::from(ac));
+                sim.step();
+                let wf = fmt.classify(wc);
+                let af = fmt.classify(ac);
+                if wf != ValueClass::Finite || af != ValueClass::Finite {
+                    if wf == ValueClass::Zero || af == ValueClass::Zero {
+                        assert_eq!(sim.peek_output("is_zero"), 1);
+                    }
+                    // Specials gate the significand to zero.
+                    if wf != ValueClass::Finite {
+                        continue;
+                    }
+                    continue;
+                }
+                let dw = fmt.fields(wc).unwrap();
+                let da = fmt.fields(ac).unwrap();
+                let hw_prod = sim.peek_output("prod");
+                let hw_exp = sim.get_signed(&ports.exp_sum);
+                let hw_sign = sim.peek_output("sign");
+                if exact_sig {
+                    assert_eq!(hw_prod, u64::from(dw.sig) * u64::from(da.sig));
+                }
+                assert_eq!(hw_sign, u64::from(dw.sign ^ da.sign));
+                // Exponent check by value (FP8 normalizes subnormals).
+                let hw_val = hw_prod as f64 * 2f64.powi((hw_exp - 2 * (m - 1)) as i32);
+                let expect = dw.magnitude() * da.magnitude();
+                assert!(
+                    (hw_val - expect).abs() <= expect.abs() * 1e-12,
+                    "{}: {wc:#x}×{ac:#x}: hw {hw_val} vs {expect}",
+                    fmt.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mersit82_multiplier_correct() {
+        let f = Mersit::new(8, 2).unwrap();
+        check_multiplier(&MersitDecoder::new(f.clone()), &f, true);
+    }
+
+    #[test]
+    fn posit81_multiplier_correct() {
+        let f = Posit::new(8, 1).unwrap();
+        check_multiplier(&PositDecoder::new(f.clone()), &f, true);
+    }
+
+    #[test]
+    fn fp84_multiplier_correct() {
+        let f = Fp8::new(4).unwrap();
+        check_multiplier(&Fp8Decoder::new(f.clone()), &f, false);
+    }
+
+    #[test]
+    fn zero_operand_zeroes_product() {
+        let f = Mersit::new(8, 2).unwrap();
+        let dec = MersitDecoder::new(f.clone());
+        let (nl, w, a, _) = standalone_multiplier(&dec);
+        let mut sim = Simulator::new(&nl);
+        sim.set(&w, u64::from(f.encode(0.0)));
+        sim.set(&a, u64::from(f.encode(1.5)));
+        sim.step();
+        assert_eq!(sim.peek_output("prod"), 0);
+        assert_eq!(sim.peek_output("is_zero"), 1);
+    }
+}

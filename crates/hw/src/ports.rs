@@ -1,0 +1,83 @@
+//! The common decoder interface shared by the FP8, Posit8 and MERSIT8
+//! hardware decoders.
+//!
+//! Per Fig. 2, a decoder extracts from an 8-bit code word:
+//!
+//! * the sign,
+//! * the effective exponent `exp_eff` (a `P`-bit signed bus), and
+//! * the effective significand `sig` (an `M`-bit left-aligned bus with the
+//!   hidden bit at the MSB),
+//!
+//! plus zero / special flags. For a finite code the represented magnitude is
+//! `sig × 2^(exp_eff − (M−1))` — identical to the software
+//! [`mersit_core::Decoded`] convention, which is what the cross-check tests
+//! rely on.
+
+use mersit_core::MacParams;
+use mersit_netlist::{Bus, NetId, Netlist};
+
+/// The output ports of a hardware format decoder.
+#[derive(Debug, Clone)]
+pub struct DecoderOutputs {
+    /// Sign bit (1 = negative).
+    pub sign: NetId,
+    /// Effective exponent, `P`-bit two's complement.
+    pub exp_eff: Bus,
+    /// Left-aligned significand including the hidden bit, `M` bits.
+    /// Forced to zero when the operand is zero.
+    pub sig: Bus,
+    /// Set when the operand is zero.
+    pub is_zero: NetId,
+    /// Set when the operand is ±∞ / NaN / NaR.
+    pub is_special: NetId,
+}
+
+/// A hardware decoder generator for one format configuration.
+pub trait Decoder {
+    /// Format name (matches [`mersit_core::Format::name`]).
+    fn name(&self) -> String;
+
+    /// MAC sizing parameters of the format.
+    fn params(&self) -> MacParams;
+
+    /// Instantiates the decoder logic inside `nl`, consuming the 8-bit
+    /// `code` bus, inside the caller's current scope.
+    fn build(&self, nl: &mut Netlist, code: &Bus) -> DecoderOutputs;
+}
+
+/// Builds a standalone decoder netlist (ports: `code` in, fields out) —
+/// used for per-block area/power studies and Verilog dumps.
+pub fn standalone_decoder(dec: &dyn Decoder) -> (Netlist, Bus, DecoderOutputs) {
+    let mut nl = Netlist::new(format!("decoder_{}", sanitize(&dec.name())));
+    let code = nl.input("code", 8);
+    let out = nl.scoped("decoder", |nl| dec.build(nl, &code));
+    nl.output("sign", &Bus(vec![out.sign]));
+    nl.output("exp_eff", &out.exp_eff);
+    nl.output("sig", &out.sig);
+    nl.output("is_zero", &Bus(vec![out.is_zero]));
+    nl.output("is_special", &Bus(vec![out.is_special]));
+    (nl, code, out)
+}
+
+pub(crate) fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("MERSIT(8,2)"), "mersit_8_2_");
+        assert_eq!(sanitize("FP(8,4)"), "fp_8_4_");
+    }
+}

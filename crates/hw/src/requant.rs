@@ -1,0 +1,359 @@
+//! The MERSIT(8,2) **requantizer**: a gate-level encoder from fixed-point
+//! (the Kulisch accumulator domain) back to an 8-bit MERSIT code with
+//! round-to-nearest-even.
+//!
+//! The paper's MAC consumes MERSIT operands; a deployed accelerator must
+//! also *produce* them — the accumulator result is renormalized, rounded
+//! at the regime-dependent fraction width, and packed into
+//! sign/ks/EC fields. This block completes the datapath loop and is
+//! verified exhaustively against the software encoder.
+//!
+//! Pipeline: |mag| → leading-one detect → normalize (barrel shift) →
+//! effective exponent `e = lsb_exp + msb_index` → clamp to
+//! `[−9, 8]` (minpos / max saturation, matching the software
+//! `SaturateToMinPos` policy) → regime-dependent fraction slice + RNE
+//! (guard & (sticky | lsb), fb=0 ties round up) → carry into `e` →
+//! radix-3 split `e = 3k + exp` (×11 ≫ 5 divider) → field packing.
+
+use mersit_netlist::{Bus, NetId, Netlist, CONST0, CONST1};
+
+/// A synthesized MERSIT(8,2) requantizer.
+#[derive(Debug)]
+pub struct MersitRequantizer {
+    /// The gate-level design.
+    pub netlist: Netlist,
+    /// Unsigned magnitude input (`mag_bits` wide).
+    pub mag: Bus,
+    /// Sign input (1 bit).
+    pub sign: Bus,
+    /// 8-bit MERSIT code output.
+    pub code: Bus,
+    /// Width of the magnitude input.
+    pub mag_bits: usize,
+    /// Exponent of the magnitude LSB: input value = mag × 2^lsb_exp.
+    pub lsb_exp: i32,
+}
+
+const E_MIN: i64 = -9;
+const E_MAX: i64 = 8;
+
+impl MersitRequantizer {
+    /// Builds a requantizer for `mag_bits`-wide magnitudes with LSB weight
+    /// `2^lsb_exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `8 <= mag_bits <= 48` and the representable exponent
+    /// range `lsb_exp ..= lsb_exp + mag_bits − 1` fits the 8-bit internal
+    /// exponent arithmetic.
+    #[must_use]
+    pub fn build(mag_bits: usize, lsb_exp: i32) -> Self {
+        assert!((8..=48).contains(&mag_bits), "mag_bits out of range");
+        assert!(
+            lsb_exp >= -100 && lsb_exp + mag_bits as i32 <= 100,
+            "lsb_exp {lsb_exp} with {mag_bits} magnitude bits exceeds the \
+             8-bit exponent datapath"
+        );
+        let mut nl = Netlist::new(format!("requant_mersit82_{mag_bits}"));
+        let mag = nl.input("mag", mag_bits);
+        let sign = nl.input("sign", 1);
+
+        // --- 1. Leading-one detection + normalization -------------------
+        let (sel, none) = nl.scoped("lod", |nl| nl.priority_from_msb(&mag));
+        let is_zero = none;
+        // lz = leading zero count; shift = lz + 1 drops the hidden MSB.
+        let (shifted, msb_idx) = nl.scoped("normalize", |nl| {
+            let lz = nl.leading_zero_count(&mag);
+            let sh_full = nl.increment(&lz);
+            let shw = usize::BITS as usize - mag_bits.leading_zeros() as usize;
+            let sh = sh_full.slice(0, shw.min(sh_full.width()));
+            let shifted = nl.barrel_shl(&mag, &sh);
+            // msb index (from LSB) = mag_bits − 1 − lz, via one-hot sum.
+            let iw = shw;
+            let mut idx = nl.lit(iw, 0);
+            for (s, &hot) in sel.iter().enumerate() {
+                // `sel[s]` is MSB-first: index = mag_bits − 1 − s.
+                let val = (mag_bits - 1 - s) as u64;
+                let cand = nl.lit(iw, val);
+                let gated = Bus(cand
+                    .iter()
+                    .map(|&b| nl.and2(b, hot))
+                    .collect::<Vec<_>>());
+                idx = Bus(idx
+                    .iter()
+                    .zip(gated.iter())
+                    .map(|(&a, &b)| nl.or2(a, b))
+                    .collect::<Vec<_>>());
+            }
+            (shifted, idx)
+        });
+
+        // --- 2. Effective exponent with range clamps --------------------
+        // e = lsb_exp + msb_idx, computed in 8-bit signed arithmetic.
+        let ew = 8usize;
+        let (e_pre, under, over) = nl.scoped("exponent", |nl| {
+            let idx8 = nl.zext(&msb_idx, ew);
+            let lsb8 = nl.lit(ew, (lsb_exp as i64 as u64) & 0xFF);
+            let (e, _) = nl.ripple_add(&idx8, &lsb8, None);
+            // under = e < E_MIN ; over = e > E_MAX (signed comparisons via
+            // subtraction).
+            let emin = nl.lit(ew, (E_MIN as u64) & 0xFF);
+            let emax = nl.lit(ew, (E_MAX as u64) & 0xFF);
+            let under = signed_lt(nl, &e, &emin);
+            let over = signed_lt(nl, &emax, &e);
+            (e, under, over)
+        });
+
+        // --- 3. Regime-dependent fraction slice + RNE --------------------
+        // g from e (pre-round): g0 ⇔ e ∈ [−3,2], g1 ⇔ e ∈ [−6,−4] ∪ [3,5].
+        let (g0, g1) = nl.scoped("gsel", |nl| {
+            let in_range = |nl: &mut Netlist, e: &Bus, lo: i64, hi: i64| {
+                let lo_l = nl.lit(ew, (lo as u64) & 0xFF);
+                let hi_l = nl.lit(ew, (hi as u64) & 0xFF);
+                let ge_lo = signed_lt(nl, e, &lo_l);
+                let ge_lo = nl.not(ge_lo);
+                let le_hi = signed_lt(nl, &hi_l, e);
+                let le_hi = nl.not(le_hi);
+                nl.and2(ge_lo, le_hi)
+            };
+            let g0 = in_range(nl, &e_pre, -3, 2);
+            let lo_band = in_range(nl, &e_pre, -6, -4);
+            let hi_band = in_range(nl, &e_pre, 3, 5);
+            let g1 = nl.or2(lo_band, hi_band);
+            (g0, g1)
+        });
+
+        // Mantissa stream: top 6 bits of the normalized value + sticky rest.
+        let a = shifted.width();
+        let m_top = shifted.slice(a - 6, a); // m_top.bit(5) is the first frac bit
+        let rest = shifted.slice(0, a - 6);
+        let sticky_rest = nl.or_reduce(&rest.0);
+
+        let (frac_after, carry) = nl.scoped("round", |nl| {
+            let m5 = m_top.bit(5);
+            let m4 = m_top.bit(4);
+            let m3 = m_top.bit(3);
+            let m2 = m_top.bit(2);
+            let m1 = m_top.bit(1);
+            let m0 = m_top.bit(0);
+            // guard/sticky/lsb per g (two-level mux on g0/g1).
+            let s_low = nl.or2(m0, sticky_rest); // below g0 guard
+            let s_mid0 = nl.or_reduce(&[m2, m1, m0, sticky_rest]); // below g1 guard
+            let s_hi0 = nl.or_reduce(&[m4, m3, m2, m1, m0, sticky_rest]); // below g2 guard
+            let guard = {
+                let g12 = nl.mux2(g1, m3, m5); // g1 → m3 ; g2 → m5
+                nl.mux2(g0, m1, g12)
+            };
+            let sticky = {
+                let s12 = nl.mux2(g1, s_mid0, s_hi0);
+                nl.mux2(g0, s_low, s12)
+            };
+            let lsb = {
+                let l12 = nl.mux2(g1, m4, CONST1); // g2: fb=0 → ties round up
+                nl.mux2(g0, m2, l12)
+            };
+            let st_or_lsb = nl.or2(sticky, lsb);
+            let round_up = nl.and2(guard, st_or_lsb);
+            // Fraction value (4 bits, LSB-aligned) per g.
+            let zero4 = nl.lit(4, 0);
+            let f4 = Bus(vec![m2, m3, m4, m5]);
+            let f2 = Bus(vec![m4, m5, CONST0, CONST0]);
+            let f12 = nl.mux2_bus(g1, &f2, &zero4);
+            let frac = nl.mux2_bus(g0, &f4, &f12);
+            // Add the rounding bit.
+            let inc = nl.increment(&frac); // 5 bits
+            let frac_r = nl.mux2_bus(round_up, &inc.slice(0, 4), &frac);
+            let bit_out = nl.mux2(round_up, inc.bit(4), CONST0);
+            // Carry beyond the regime's own fraction width.
+            let c_g0 = bit_out; // overflow past 4 bits
+            let c_g1 = frac_r.bit(2); // past 2 bits
+            let c_g2 = frac_r.bit(0); // fb = 0: any increment carries
+            let c12 = nl.mux2(g1, c_g1, c_g2);
+            let c = nl.mux2(g0, c_g0, c12);
+            // After a carry the fraction is zero.
+            let nc = nl.not(c);
+            let frac_after = Bus(frac_r
+                .iter()
+                .map(|&b| nl.and2(b, nc))
+                .collect::<Vec<_>>());
+            (frac_after, c)
+        });
+
+        // --- 4. Final exponent, radix-3 split, saturation ----------------
+        let (body, over_post) = nl.scoped("pack", |nl| {
+            let cb = nl.zext(&Bus(vec![carry]), ew);
+            let (e_fin, _) = nl.ripple_add(&e_pre, &cb, None);
+            let emax = nl.lit(ew, (E_MAX as u64) & 0xFF);
+            let over_post = signed_lt(nl, &emax, &e_fin);
+            // u = e_fin + 9 ∈ [0, 17] (5 bits); q = (u × 11) >> 5; r = u − 3q.
+            let nine = nl.lit(ew, 9);
+            let (u_w, _) = nl.ripple_add(&e_fin, &nine, None);
+            let u = u_w.slice(0, 5);
+            let q = {
+                // u×11 = u + (u<<1) + (u<<3), 9 bits.
+                let u9 = nl.zext(&u, 9);
+                let u2 = shl_const(nl, &u, 1, 9);
+                let u8 = shl_const(nl, &u, 3, 9);
+                let (t, _) = nl.ripple_add(&u9, &u2, None);
+                let (x11, _) = nl.ripple_add(&t, &u8, None);
+                x11.slice(5, 8) // >> 5, 3 bits (q ≤ 5)
+            };
+            let r = {
+                // r = u − 3q (2 bits).
+                let q5 = nl.zext(&q, 5);
+                let q2 = shl_const(nl, &q, 1, 5);
+                let (q3, _) = nl.ripple_add(&q5, &q2, None);
+                let (diff, _) = nl.ripple_sub(&u.slice(0, 5), &q3);
+                diff.slice(0, 2)
+            };
+            // ks = q >= 3 ; g one-hot from q.
+            let q_eq = |nl: &mut Netlist, v: u64| -> NetId { nl.eq_const(&q, v) };
+            let q1 = q_eq(nl, 1);
+            let q2b = q_eq(nl, 2);
+            let q3b = q_eq(nl, 3);
+            let q4 = q_eq(nl, 4);
+            let q5b = q_eq(nl, 5);
+            let ks = nl.or_reduce(&[q3b, q4, q5b]);
+            // g: 0 ⇔ q∈{2,3}, 1 ⇔ q∈{1,4}, 2 ⇔ q∈{0,5} (the g2 case is
+            // the mux default, so q=0 needs no explicit term).
+            let g0f = nl.or2(q2b, q3b);
+            let g1f = nl.or2(q1, q4);
+            // Candidate bodies (b5..b0, stored LSB-first):
+            // g0: [frac0..frac3, r0, r1]
+            // g1: [frac0, frac1, r0, r1, 1, 1]
+            // g2: [r0, r1, 1, 1, 1, 1]
+            let b_g0 = Bus(vec![
+                frac_after.bit(0),
+                frac_after.bit(1),
+                frac_after.bit(2),
+                frac_after.bit(3),
+                r.bit(0),
+                r.bit(1),
+            ]);
+            let b_g1 = Bus(vec![
+                frac_after.bit(0),
+                frac_after.bit(1),
+                r.bit(0),
+                r.bit(1),
+                CONST1,
+                CONST1,
+            ]);
+            let b_g2 = Bus(vec![r.bit(0), r.bit(1), CONST1, CONST1, CONST1, CONST1]);
+            let b12 = nl.mux2_bus(g1f, &b_g1, &b_g2);
+            let b = nl.mux2_bus(g0f, &b_g0, &b12);
+            let body = b.concat(&Bus(vec![ks]));
+            (body, over_post)
+        });
+
+        // --- 5. Specials: zero / minpos / max ----------------------------
+        let out_mag = nl.scoped("specials", |nl| {
+            let zero_pat = nl.lit(7, 0b0111111);
+            let minpos_pat = nl.lit(7, 0b0111100);
+            let max_pat = nl.lit(7, 0b1111110);
+            let sat = nl.or2(over, over_post);
+            let v = nl.mux2_bus(sat, &max_pat, &body);
+            let v = nl.mux2_bus(under, &minpos_pat, &v);
+            nl.mux2_bus(is_zero, &zero_pat, &v)
+        });
+        // Sign bit (zero keeps sign 0 like the software encoder).
+        let nz = nl.not(is_zero);
+        let sbit = nl.and2(sign.bit(0), nz);
+        let code = out_mag.concat(&Bus(vec![sbit]));
+        nl.output("code", &code);
+        Self {
+            netlist: nl,
+            mag,
+            sign,
+            code,
+            mag_bits,
+            lsb_exp,
+        }
+    }
+}
+
+/// `a < b` for equal-width two's-complement buses.
+fn signed_lt(nl: &mut Netlist, a: &Bus, b: &Bus) -> NetId {
+    // a − b; negative iff (sign bits and carry pattern) → use widened sub.
+    let w = a.width() + 1;
+    let ax = nl.sext(a, w);
+    let bx = nl.sext(b, w);
+    let (diff, _) = nl.ripple_sub(&ax, &bx);
+    diff.msb()
+}
+
+/// `a << k`, zero-filled, `out_w` wide.
+fn shl_const(nl: &mut Netlist, a: &Bus, k: usize, out_w: usize) -> Bus {
+    let mut v = vec![CONST0; k];
+    v.extend_from_slice(&a.0);
+    nl.zext(&Bus(v), out_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mersit_core::{Format, Mersit};
+    use mersit_netlist::Simulator;
+
+    fn exhaustive_check(mag_bits: usize, lsb_exp: i32) {
+        let fmt = Mersit::new(8, 2).unwrap();
+        let rq = MersitRequantizer::build(mag_bits, lsb_exp);
+        let mut sim = Simulator::new(&rq.netlist);
+        let scale = 2f64.powi(lsb_exp);
+        for mag in 0..(1u64 << mag_bits) {
+            for sign in [0u64, 1] {
+                let x = mag as f64 * scale * if sign == 1 { -1.0 } else { 1.0 };
+                let expect = fmt.encode(x);
+                sim.set(&rq.mag, mag);
+                sim.set(&rq.sign, sign);
+                sim.step();
+                let got = sim.peek_output("code") as u16;
+                assert_eq!(
+                    got, expect,
+                    "mag={mag} sign={sign} lsb=2^{lsb_exp}: got {got:#010b}, want {expect:#010b} (x={x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_mid_range() {
+        // e spans −8..5: normal regimes plus rounding boundaries.
+        exhaustive_check(14, -8);
+    }
+
+    #[test]
+    fn exhaustive_with_saturation() {
+        // e spans −2..11: exercises max saturation incl. round-to-overflow.
+        exhaustive_check(14, -2);
+    }
+
+    #[test]
+    fn exhaustive_with_underflow() {
+        // e spans −16..−3: exercises minpos saturation.
+        exhaustive_check(14, -16);
+    }
+
+    #[test]
+    fn matches_accumulator_frame() {
+        // The MERSIT(8,2) MAC accumulates with LSB weight 2^-26; a
+        // hardware truncation stage would feed the requantizer the top
+        // bits of that register. Model that hand-off with a 20-bit
+        // magnitude at LSB weight 2^-6 and check agreement with the
+        // software encoder across a multiplicative sweep.
+        let fmt = Mersit::new(8, 2).unwrap();
+        let rq = MersitRequantizer::build(20, -6);
+        let mut sim = Simulator::new(&rq.netlist);
+        let mut v = 1u64;
+        while v < (1 << 20) {
+            for off in [0u64, 1, 3] {
+                let mag = (v + off).min((1 << 20) - 1);
+                let x = mag as f64 * 2f64.powi(-6);
+                sim.set(&rq.mag, mag);
+                sim.set(&rq.sign, 0);
+                sim.step();
+                assert_eq!(sim.peek_output("code") as u16, fmt.encode(x), "mag {mag}");
+            }
+            v = v.wrapping_mul(3) + 7;
+        }
+    }
+}

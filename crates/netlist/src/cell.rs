@@ -1,0 +1,209 @@
+//! The standard-cell library: cell kinds with area, switching energy and
+//! leakage characteristics of a 45 nm-class process.
+//!
+//! The numbers are calibrated to the NanGate FreePDK45 open cell library
+//! (X1 drive strengths, typical corner) — the closest open stand-in for the
+//! commercial 45 nm library the paper synthesized with. Absolute µm² / µW
+//! therefore differ from the paper's library, but *relative* costs between
+//! designs (the paper's claim) are preserved because every design is built
+//! from the same cells.
+
+use std::fmt;
+
+/// Supply voltage of the process model (V).
+pub const VDD: f64 = 1.1;
+/// Default clock frequency used for power reporting (Hz) — the paper
+/// synthesizes at 100 MHz.
+pub const DEFAULT_CLOCK_HZ: f64 = 100.0e6;
+
+/// The primitive cell kinds available to designs.
+///
+/// `Fa`/`Ha` are full/half adder cells (mapped as single cells, as a
+/// commercial synthesis flow would), `Dff` is a rising-edge D flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Buffer (identity; used to tap a net into another scope).
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: inputs `[d0, d1, sel]`, output `sel ? d1 : d0`.
+    Mux2,
+    /// Half adder: inputs `[a, b]`, outputs `[sum, carry]`.
+    Ha,
+    /// Full adder: inputs `[a, b, cin]`, outputs `[sum, carry]`.
+    Fa,
+    /// Rising-edge D flip-flop: input `[d]`, output `[q]`.
+    Dff,
+}
+
+impl CellKind {
+    /// All cell kinds, for iteration in reports.
+    pub const ALL: [CellKind; 12] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Ha,
+        CellKind::Fa,
+        CellKind::Dff,
+    ];
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf | CellKind::Dff => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::Ha => 2,
+            CellKind::Mux2 | CellKind::Fa => 3,
+        }
+    }
+
+    /// Number of output pins.
+    #[must_use]
+    pub fn num_outputs(self) -> usize {
+        match self {
+            CellKind::Ha | CellKind::Fa => 2,
+            _ => 1,
+        }
+    }
+
+    /// Cell area in µm² (NanGate FreePDK45 X1 footprints).
+    #[must_use]
+    pub fn area_um2(self) -> f64 {
+        match self {
+            CellKind::Inv => 0.532,
+            CellKind::Buf => 0.798,
+            CellKind::Nand2 => 0.798,
+            CellKind::Nor2 => 0.798,
+            CellKind::And2 => 1.064,
+            CellKind::Or2 => 1.064,
+            CellKind::Xor2 => 1.596,
+            CellKind::Xnor2 => 1.862,
+            CellKind::Mux2 => 1.862,
+            CellKind::Ha => 3.192,
+            CellKind::Fa => 4.788,
+            CellKind::Dff => 4.522,
+        }
+    }
+
+    /// Energy per output toggle in femtojoules (switched + internal
+    /// capacitance at `VDD`, typical corner).
+    #[must_use]
+    pub fn switch_energy_fj(self) -> f64 {
+        match self {
+            CellKind::Inv => 0.65,
+            CellKind::Buf => 1.10,
+            CellKind::Nand2 => 0.95,
+            CellKind::Nor2 => 0.95,
+            CellKind::And2 => 1.30,
+            CellKind::Or2 => 1.30,
+            CellKind::Xor2 => 2.10,
+            CellKind::Xnor2 => 2.30,
+            CellKind::Mux2 => 2.40,
+            CellKind::Ha => 3.90,
+            CellKind::Fa => 6.40,
+            CellKind::Dff => 5.20,
+        }
+    }
+
+    /// Per-cycle clock-tree / internal-clocking energy for sequential cells
+    /// (fJ per clock edge, paid whether or not the output toggles).
+    #[must_use]
+    pub fn clock_energy_fj(self) -> f64 {
+        match self {
+            CellKind::Dff => 1.80,
+            _ => 0.0,
+        }
+    }
+
+    /// Leakage power in nanowatts (typical corner, 25 °C).
+    #[must_use]
+    pub fn leakage_nw(self) -> f64 {
+        // Roughly proportional to area at this node.
+        self.area_um2() * 18.0
+    }
+
+    /// Whether the cell is sequential (state-holding).
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        self == CellKind::Dff
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::Ha => "HA",
+            CellKind::Fa => "FA",
+            CellKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_counts() {
+        assert_eq!(CellKind::Inv.num_inputs(), 1);
+        assert_eq!(CellKind::Fa.num_inputs(), 3);
+        assert_eq!(CellKind::Fa.num_outputs(), 2);
+        assert_eq!(CellKind::Mux2.num_inputs(), 3);
+        assert_eq!(CellKind::Mux2.num_outputs(), 1);
+    }
+
+    #[test]
+    fn library_is_physically_plausible() {
+        for k in CellKind::ALL {
+            assert!(k.area_um2() > 0.0);
+            assert!(k.switch_energy_fj() > 0.0);
+            assert!(k.leakage_nw() > 0.0);
+        }
+        // An FA is bigger than a NAND; an XOR costs more energy than an INV.
+        assert!(CellKind::Fa.area_um2() > CellKind::Nand2.area_um2());
+        assert!(CellKind::Xor2.switch_energy_fj() > CellKind::Inv.switch_energy_fj());
+        // Only the DFF draws clock energy.
+        assert!(CellKind::Dff.clock_energy_fj() > 0.0);
+        assert_eq!(CellKind::And2.clock_energy_fj(), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellKind::Nand2.to_string(), "NAND2");
+        assert_eq!(CellKind::Dff.to_string(), "DFF");
+    }
+}

@@ -1,0 +1,260 @@
+//! Synthesis-style area and activity-based power reports.
+//!
+//! Mirrors the paper's methodology: area from the cell library footprints
+//! (Design Compiler analog), power from switching activity recorded while
+//! simulating the netlist with *actual operand data* (PrimeTime PX analog),
+//! reported at the paper's 100 MHz operating point.
+
+use crate::cell::{CellKind, DEFAULT_CLOCK_HZ};
+use crate::netlist::Netlist;
+use crate::sim::Simulator;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Area summary of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// Total cell area in µm².
+    pub total_um2: f64,
+    /// Area per full scope path.
+    pub by_scope: BTreeMap<String, f64>,
+    /// Cell-count histogram.
+    pub by_cell: BTreeMap<String, usize>,
+}
+
+impl AreaReport {
+    /// Computes the area report of `nl`.
+    #[must_use]
+    pub fn of(nl: &Netlist) -> Self {
+        let mut total = 0.0;
+        let mut by_scope: BTreeMap<String, f64> = BTreeMap::new();
+        let mut by_cell: BTreeMap<String, usize> = BTreeMap::new();
+        for g in nl.gates() {
+            let a = g.kind.area_um2();
+            total += a;
+            *by_scope.entry(nl.scope_path(g.scope)).or_insert(0.0) += a;
+            *by_cell.entry(g.kind.to_string()).or_insert(0) += 1;
+        }
+        Self {
+            total_um2: total,
+            by_scope,
+            by_cell,
+        }
+    }
+
+    /// Sums the area of every scope whose path starts with `prefix`.
+    #[must_use]
+    pub fn scope_area(&self, prefix: &str) -> f64 {
+        self.by_scope
+            .iter()
+            .filter(|(p, _)| p.as_str() == prefix || p.starts_with(&format!("{prefix}/")))
+            .map(|(_, a)| a)
+            .sum()
+    }
+
+    /// Aggregates by scope-path depth (1 = direct children of the root).
+    #[must_use]
+    pub fn grouped(&self, depth: usize) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for (path, a) in &self.by_scope {
+            let key: Vec<&str> = path.split('/').take(depth + 1).collect();
+            *out.entry(key.join("/")).or_insert(0.0) += a;
+        }
+        out
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total area: {:.1} um^2", self.total_um2)?;
+        for (path, a) in &self.by_scope {
+            writeln!(f, "  {path}: {a:.1} um^2")?;
+        }
+        Ok(())
+    }
+}
+
+/// Power summary of a simulated netlist at a given clock frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Switching (dynamic) power in µW.
+    pub dynamic_uw: f64,
+    /// Sequential clock-tree power in µW.
+    pub clock_uw: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+    /// Total per full scope path (dynamic + leakage + clock), µW.
+    pub by_scope: BTreeMap<String, f64>,
+    /// Number of activity cycles the averages were taken over.
+    pub cycles: u64,
+}
+
+impl PowerReport {
+    /// Total power in µW.
+    #[must_use]
+    pub fn total_uw(&self) -> f64 {
+        self.dynamic_uw + self.clock_uw + self.leakage_uw
+    }
+
+    /// Extracts the power report from simulation activity at `freq_hz`.
+    ///
+    /// Dynamic power: `P = (Σ_gate toggles × E_switch) / cycles × f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has recorded no cycles.
+    #[must_use]
+    pub fn of(sim: &Simulator<'_>, freq_hz: f64) -> Self {
+        let nl = sim.netlist();
+        let cycles = sim.cycles();
+        assert!(cycles > 0, "no activity recorded; run step()/clock() first");
+        let mut dynamic_fj_total = 0.0;
+        let mut clock_fj_total = 0.0;
+        let mut by_scope: BTreeMap<String, f64> = BTreeMap::new();
+        let leak_per_scope_nw = |k: CellKind| k.leakage_nw();
+        let mut leakage_nw = 0.0;
+        for g in nl.gates() {
+            let toggles: u64 = g.outputs.iter().map(|&o| sim.net_toggles(o)).sum();
+            let e_dyn = toggles as f64 * g.kind.switch_energy_fj();
+            let e_clk = if g.kind.is_sequential() {
+                sim.clock_edges() as f64 * g.kind.clock_energy_fj()
+            } else {
+                0.0
+            };
+            dynamic_fj_total += e_dyn;
+            clock_fj_total += e_clk;
+            let leak = leak_per_scope_nw(g.kind);
+            leakage_nw += leak;
+            // Per-scope: convert on the fly.
+            let p_uw = (e_dyn + e_clk) / cycles as f64 * freq_hz * 1e-9 + leak * 1e-3;
+            *by_scope.entry(nl.scope_path(g.scope)).or_insert(0.0) += p_uw;
+        }
+        // fJ/cycle × cycles/s = fW × 1e-9 = µW conversion: fJ × Hz = 1e-15 J/s
+        // → W; × 1e6 → µW ⇒ factor 1e-9.
+        let dynamic_uw = dynamic_fj_total / cycles as f64 * freq_hz * 1e-9;
+        let clock_uw = clock_fj_total / cycles as f64 * freq_hz * 1e-9;
+        Self {
+            dynamic_uw,
+            clock_uw,
+            leakage_uw: leakage_nw * 1e-3,
+            by_scope,
+            cycles,
+        }
+    }
+
+    /// Extracts the report at the paper's 100 MHz operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has recorded no cycles.
+    #[must_use]
+    pub fn at_100mhz(sim: &Simulator<'_>) -> Self {
+        Self::of(sim, DEFAULT_CLOCK_HZ)
+    }
+
+    /// Sums the power of every scope whose path starts with `prefix`.
+    #[must_use]
+    pub fn scope_power(&self, prefix: &str) -> f64 {
+        self.by_scope
+            .iter()
+            .filter(|(p, _)| p.as_str() == prefix || p.starts_with(&format!("{prefix}/")))
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "power over {} cycles: dynamic {:.2} uW, clock {:.2} uW, leakage {:.2} uW, total {:.2} uW",
+            self.cycles,
+            self.dynamic_uw,
+            self.clock_uw,
+            self.leakage_uw,
+            self.total_uw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Bus;
+
+    #[test]
+    fn area_sums_cells_and_scopes() {
+        let mut nl = Netlist::new("top");
+        let a = nl.input("a", 2);
+        nl.scoped("left", |nl| {
+            nl.and2(a.bit(0), a.bit(1));
+        });
+        nl.scoped("right", |nl| {
+            nl.xor2(a.bit(0), a.bit(1));
+            nl.not(a.bit(0));
+        });
+        let r = AreaReport::of(&nl);
+        let expect = CellKind::And2.area_um2() + CellKind::Xor2.area_um2() + CellKind::Inv.area_um2();
+        assert!((r.total_um2 - expect).abs() < 1e-9);
+        assert!((r.scope_area("top/left") - CellKind::And2.area_um2()).abs() < 1e-9);
+        assert_eq!(r.by_cell["XOR2"], 1);
+        assert_eq!(r.grouped(1).len(), 2);
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let x = nl.not(a.bit(0));
+        nl.output("o", &Bus(vec![x]));
+        // busy: toggles every cycle
+        let mut busy = Simulator::new(&nl);
+        for i in 0..100u64 {
+            busy.set(&a, i & 1);
+            busy.step();
+        }
+        // idle: constant input
+        let mut idle = Simulator::new(&nl);
+        for _ in 0..100 {
+            idle.set(&a, 0);
+            idle.step();
+        }
+        let pb = PowerReport::at_100mhz(&busy);
+        let pi = PowerReport::at_100mhz(&idle);
+        assert!(pb.dynamic_uw > pi.dynamic_uw * 10.0);
+        assert_eq!(pb.leakage_uw, pi.leakage_uw);
+    }
+
+    #[test]
+    fn dynamic_power_matches_hand_computation() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let x = nl.not(a.bit(0));
+        nl.output("o", &Bus(vec![x]));
+        let mut sim = Simulator::new(&nl);
+        // 4 cycles, output toggles each cycle (0→1→0→1→0... note first step
+        // raises it from the initial 0).
+        for i in 0..4u64 {
+            sim.set(&a, i & 1);
+            sim.step();
+        }
+        let p = PowerReport::of(&sim, 1.0e8);
+        // 4 toggles × 0.65 fJ / 4 cycles × 1e8 Hz = 65 fW×1e6... = 0.065 µW
+        let expect = 4.0 * 0.65 / 4.0 * 1.0e8 * 1e-9;
+        assert!((p.dynamic_uw - expect).abs() < 1e-12, "{}", p.dynamic_uw);
+    }
+
+    #[test]
+    fn clock_power_counted_for_dffs() {
+        let mut nl = Netlist::new("t");
+        let d = nl.input("d", 1);
+        let q = nl.dff(d.bit(0));
+        nl.output("q", &Bus(vec![q]));
+        let mut sim = Simulator::new(&nl);
+        for _ in 0..10 {
+            sim.clock();
+        }
+        let p = PowerReport::at_100mhz(&sim);
+        assert!(p.clock_uw > 0.0);
+    }
+}

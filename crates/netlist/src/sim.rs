@@ -1,0 +1,406 @@
+//! Levelized zero-delay logic simulation with per-net toggle counting.
+//!
+//! The simulator evaluates combinational gates once per applied vector in
+//! topological order (zero-delay model: each net changes at most once per
+//! vector, i.e. glitch-free switching activity). Toggle counts feed the
+//! activity-based power model in [`crate::report`]. The same methodology is
+//! applied to every design under comparison, mirroring the paper's use of
+//! PrimeTime PX "with the average value obtained from actual DNN data".
+
+use crate::cell::CellKind;
+use crate::netlist::{Bus, Netlist, CONST1};
+
+/// A gate-level simulator bound to a netlist.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    values: Vec<bool>,
+    /// Gate indices in topological (evaluation) order; DFFs excluded.
+    comb_order: Vec<usize>,
+    /// Gate indices of the DFFs.
+    dffs: Vec<usize>,
+    /// Per-net toggle counts.
+    toggles: Vec<u64>,
+    /// Evaluated vectors (combinational cycles).
+    cycles: u64,
+    /// Captured clock edges (sequential cycles).
+    clock_edges: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator, levelizing the combinational logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop.
+    #[must_use]
+    pub fn new(nl: &'a Netlist) -> Self {
+        let n_nets = nl.num_nets() as usize;
+        // driver[net] = index of the combinational gate driving it.
+        let mut driver: Vec<Option<usize>> = vec![None; n_nets];
+        let mut dffs = Vec::new();
+        for (gi, g) in nl.gates().iter().enumerate() {
+            if g.kind.is_sequential() {
+                dffs.push(gi);
+                continue; // Q is a state root, not a combinational output
+            }
+            for &o in &g.outputs {
+                assert!(
+                    driver[o.0 as usize].is_none(),
+                    "net {} driven by multiple gates",
+                    o.0
+                );
+                driver[o.0 as usize] = Some(gi);
+            }
+        }
+        // Kahn's algorithm over gate dependencies.
+        let gates = nl.gates();
+        let mut indeg: Vec<u32> = vec![0; gates.len()];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+        for (gi, g) in gates.iter().enumerate() {
+            if g.kind.is_sequential() {
+                continue;
+            }
+            for &i in &g.inputs {
+                if let Some(src) = driver[i.0 as usize] {
+                    indeg[gi] += 1;
+                    fanout[src].push(gi);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..gates.len())
+            .filter(|&gi| !gates[gi].kind.is_sequential() && indeg[gi] == 0)
+            .collect();
+        let mut comb_order = Vec::with_capacity(gates.len());
+        while let Some(gi) = queue.pop() {
+            comb_order.push(gi);
+            for &f in &fanout[gi] {
+                indeg[f] -= 1;
+                if indeg[f] == 0 {
+                    queue.push(f);
+                }
+            }
+        }
+        let n_comb = gates.iter().filter(|g| !g.kind.is_sequential()).count();
+        assert_eq!(
+            comb_order.len(),
+            n_comb,
+            "combinational loop detected in `{}`",
+            nl.name()
+        );
+        let mut values = vec![false; n_nets];
+        values[CONST1.0 as usize] = true;
+        Self {
+            nl,
+            values,
+            comb_order,
+            dffs,
+            toggles: vec![0; n_nets],
+            cycles: 0,
+            clock_edges: 0,
+        }
+    }
+
+    /// The netlist under simulation.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
+    }
+
+    /// Drives an input bus with an integer value (LSB first).
+    pub fn set(&mut self, bus: &Bus, value: u64) {
+        for (i, &n) in bus.iter().enumerate() {
+            let bit = (value >> i) & 1 == 1;
+            if self.values[n.0 as usize] != bit {
+                self.values[n.0 as usize] = bit;
+                self.toggles[n.0 as usize] += 1;
+            }
+        }
+    }
+
+    /// Reads a bus as an integer (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is wider than 64 bits.
+    #[must_use]
+    pub fn get(&self, bus: &Bus) -> u64 {
+        assert!(bus.width() <= 64, "bus too wide for u64");
+        let mut v = 0u64;
+        for (i, &n) in bus.iter().enumerate() {
+            if self.values[n.0 as usize] {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Reads a bus as a sign-extended integer.
+    #[must_use]
+    pub fn get_signed(&self, bus: &Bus) -> i64 {
+        let raw = self.get(bus);
+        let w = bus.width();
+        if w == 64 || raw & (1 << (w - 1)) == 0 {
+            raw as i64
+        } else {
+            (raw | (u64::MAX << w)) as i64
+        }
+    }
+
+    /// Reads an output port by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no output port has that name.
+    #[must_use]
+    pub fn peek_output(&self, name: &str) -> u64 {
+        let p = self
+            .nl
+            .output_ports()
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("no output port `{name}`"));
+        self.get(&p.bus)
+    }
+
+    /// Evaluates the combinational logic for the current inputs and counts
+    /// the vector as one activity cycle.
+    pub fn step(&mut self) {
+        self.settle();
+        self.cycles += 1;
+    }
+
+    /// Evaluates the combinational logic without advancing the cycle count.
+    pub fn settle(&mut self) {
+        for idx in 0..self.comb_order.len() {
+            let gi = self.comb_order[idx];
+            self.eval_gate(gi);
+        }
+    }
+
+    /// Applies a rising clock edge: settles the combinational logic with
+    /// the current inputs (setup), captures every DFF's `D` into `Q`, then
+    /// re-settles (propagation). Counts one sequential cycle.
+    pub fn clock(&mut self) {
+        self.settle();
+        // Two-phase capture: sample all D first, then commit.
+        let sampled: Vec<(usize, bool)> = self
+            .dffs
+            .iter()
+            .map(|&gi| {
+                let g = &self.nl.gates()[gi];
+                (gi, self.values[g.inputs[0].0 as usize])
+            })
+            .collect();
+        for (gi, d) in sampled {
+            let q = self.nl.gates()[gi].outputs[0];
+            if self.values[q.0 as usize] != d {
+                self.values[q.0 as usize] = d;
+                self.toggles[q.0 as usize] += 1;
+            }
+        }
+        self.settle();
+        self.clock_edges += 1;
+        self.cycles += 1;
+    }
+
+    /// Resets all DFF outputs to zero and re-settles (asynchronous reset).
+    pub fn reset(&mut self) {
+        for idx in 0..self.dffs.len() {
+            let q = self.nl.gates()[self.dffs[idx]].outputs[0];
+            self.values[q.0 as usize] = false;
+        }
+        self.settle();
+    }
+
+    #[inline]
+    fn eval_gate(&mut self, gi: usize) {
+        let nl = self.nl;
+        let g = &nl.gates()[gi];
+        let a = self.values[g.inputs[0].0 as usize];
+        let b = g.inputs.get(1).is_some_and(|n| self.values[n.0 as usize]);
+        let c = g.inputs.get(2).is_some_and(|n| self.values[n.0 as usize]);
+        let (o0, o1) = match g.kind {
+            CellKind::Inv => (!a, None),
+            CellKind::Buf => (a, None),
+            CellKind::And2 => (a & b, None),
+            CellKind::Or2 => (a | b, None),
+            CellKind::Nand2 => (!(a & b), None),
+            CellKind::Nor2 => (!(a | b), None),
+            CellKind::Xor2 => (a ^ b, None),
+            CellKind::Xnor2 => (!(a ^ b), None),
+            // Mux2 pin order: [d0, d1, sel]
+            CellKind::Mux2 => (if c { b } else { a }, None),
+            CellKind::Ha => (a ^ b, Some(a & b)),
+            CellKind::Fa => (a ^ b ^ c, Some((a && b) || (c && (a ^ b)))),
+            CellKind::Dff => unreachable!("DFFs are not in the combinational order"),
+        };
+        self.write_net(g.outputs[0], o0);
+        if let Some(v1) = o1 {
+            self.write_net(g.outputs[1], v1);
+        }
+    }
+
+    #[inline]
+    fn write_net(&mut self, net: crate::netlist::NetId, v: bool) {
+        let slot = &mut self.values[net.0 as usize];
+        if *slot != v {
+            *slot = v;
+            self.toggles[net.0 as usize] += 1;
+        }
+    }
+
+    /// Toggle count of a net.
+    #[must_use]
+    pub fn net_toggles(&self, net: crate::netlist::NetId) -> u64 {
+        self.toggles[net.0 as usize]
+    }
+
+    /// Number of evaluated vectors (combinational activity cycles).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of captured clock edges.
+    #[must_use]
+    pub fn clock_edges(&self) -> u64 {
+        self.clock_edges
+    }
+
+    /// Clears all toggle statistics (keeps current net values).
+    pub fn clear_stats(&mut self) {
+        self.toggles.fill(0);
+        self.cycles = 0;
+        self.clock_edges = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_compute_truth_tables() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let and = nl.and2(a.bit(0), b.bit(0));
+        let or = nl.or2(a.bit(0), b.bit(0));
+        let xor = nl.xor2(a.bit(0), b.bit(0));
+        let nand = nl.nand2(a.bit(0), b.bit(0));
+        let nor = nl.nor2(a.bit(0), b.bit(0));
+        let xnor_o = nl.xnor2(a.bit(0), b.bit(0));
+        let not = nl.not(a.bit(0));
+        let out = Bus(vec![and, or, xor, nand, nor, xnor_o, not]);
+        nl.output("o", &out);
+        let mut sim = Simulator::new(&nl);
+        for (av, bv) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            sim.set(&a, av);
+            sim.set(&b, bv);
+            sim.step();
+            let o = sim.peek_output("o");
+            assert_eq!(o & 1, av & bv, "and");
+            assert_eq!((o >> 1) & 1, av | bv, "or");
+            assert_eq!((o >> 2) & 1, av ^ bv, "xor");
+            assert_eq!((o >> 3) & 1, 1 - (av & bv), "nand");
+            assert_eq!((o >> 4) & 1, 1 - (av | bv), "nor");
+            assert_eq!((o >> 5) & 1, 1 - (av ^ bv), "xnor");
+            assert_eq!((o >> 6) & 1, 1 - av, "not");
+        }
+    }
+
+    #[test]
+    fn fa_ha_mux() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 3);
+        let (s0, c0) = nl.ha(a.bit(0), a.bit(1));
+        let (s1, c1) = nl.fa(a.bit(0), a.bit(1), a.bit(2));
+        let m = nl.mux2(a.bit(2), a.bit(1), a.bit(0));
+        nl.output("o", &Bus(vec![s0, c0, s1, c1, m]));
+        let mut sim = Simulator::new(&nl);
+        for v in 0..8u64 {
+            let (x, y, z) = (v & 1, (v >> 1) & 1, (v >> 2) & 1);
+            sim.set(&a, v);
+            sim.step();
+            let o = sim.peek_output("o");
+            assert_eq!(o & 1, (x + y) & 1);
+            assert_eq!((o >> 1) & 1, (x + y) >> 1);
+            assert_eq!((o >> 2) & 1, (x + y + z) & 1);
+            assert_eq!((o >> 3) & 1, (x + y + z) >> 1);
+            assert_eq!((o >> 4) & 1, if z == 1 { y } else { x });
+        }
+    }
+
+    #[test]
+    fn out_of_order_construction_still_levelizes() {
+        // Build gates in an order where a later-created gate feeds an
+        // earlier-created one via pre-allocated nets — topological sort
+        // must handle it. We wire: out = NOT(mid), mid = AND(a, b),
+        // creating NOT before AND by pre-allocating `mid`... which the
+        // builder API does not allow directly, so emulate with buffers:
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let x1 = nl.not(a.bit(0));
+        let x2 = nl.not(x1);
+        let x3 = nl.not(x2);
+        nl.output("o", &Bus(vec![x3]));
+        let mut sim = Simulator::new(&nl);
+        sim.set(&a, 1);
+        sim.step();
+        assert_eq!(sim.peek_output("o"), 0);
+    }
+
+    #[test]
+    fn dff_pipeline_shifts() {
+        let mut nl = Netlist::new("t");
+        let d = nl.input("d", 1);
+        let q1 = nl.dff(d.bit(0));
+        let q2 = nl.dff(q1);
+        nl.output("q", &Bus(vec![q1, q2]));
+        let mut sim = Simulator::new(&nl);
+        sim.set(&d, 1);
+        sim.clock();
+        assert_eq!(sim.peek_output("q"), 0b01);
+        sim.set(&d, 0);
+        sim.clock();
+        assert_eq!(sim.peek_output("q"), 0b10);
+        sim.clock();
+        assert_eq!(sim.peek_output("q"), 0b00);
+        assert_eq!(sim.clock_edges(), 3);
+    }
+
+    #[test]
+    fn toggle_counting_is_exact() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let inv = nl.not(a.bit(0));
+        nl.output("o", &Bus(vec![inv]));
+        let mut sim = Simulator::new(&nl);
+        sim.step(); // a=0 → inv goes 0→1: one toggle
+        assert_eq!(sim.net_toggles(inv), 1);
+        sim.set(&a, 1);
+        sim.step(); // inv 1→0
+        assert_eq!(sim.net_toggles(inv), 2);
+        sim.set(&a, 1); // no change
+        sim.step();
+        assert_eq!(sim.net_toggles(inv), 2);
+        assert_eq!(sim.cycles(), 3);
+        sim.clear_stats();
+        assert_eq!(sim.net_toggles(inv), 0);
+    }
+
+    #[test]
+    fn get_signed_sign_extends() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        nl.output("o", &a);
+        let mut sim = Simulator::new(&nl);
+        sim.set(&a, 0b1110);
+        sim.step();
+        assert_eq!(sim.get_signed(&a), -2);
+        sim.set(&a, 0b0110);
+        sim.step();
+        assert_eq!(sim.get_signed(&a), 6);
+    }
+}

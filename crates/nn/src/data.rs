@@ -1,0 +1,386 @@
+//! Deterministic synthetic datasets standing in for ImageNet and GLUE
+//! (see DESIGN.md §2 for the substitution rationale).
+//!
+//! * [`synthetic_images`] — a 10-class image task whose samples carry
+//!   class-dependent oriented gratings and blobs under log-normally
+//!   distributed illumination, so activations span a wide dynamic range
+//!   (the distribution property that stresses narrow-range 8-bit formats).
+//! * [`glue_like`] — four GLUE-analogue sequence-classification tasks
+//!   (acceptability, sentiment, paraphrase, inference) over a small
+//!   vocabulary, learnable by a miniature transformer.
+
+use crate::train::Split;
+use mersit_tensor::{Rng, Tensor};
+
+/// A complete task: train/test splits plus a small calibration subset
+/// (the paper calibrates on 1000 ImageNet images / 5 % of GLUE).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Task name.
+    pub name: String,
+    /// Training split.
+    pub train: Split,
+    /// Held-out evaluation split.
+    pub test: Split,
+    /// Calibration subset (drawn from the training split).
+    pub calib: Split,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+/// Generates the 10-class synthetic image task. Images are `[3, hw, hw]`.
+#[must_use]
+pub fn synthetic_images(seed: u64, n_train: usize, n_test: usize, hw: usize) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let train = gen_images(&mut rng, n_train, hw);
+    let test = gen_images(&mut rng, n_test, hw);
+    let calib_n = (n_train / 8).clamp(1, 256);
+    let calib = Split {
+        inputs: train.inputs.slice_outer(0, calib_n),
+        labels: train.labels[..calib_n].to_vec(),
+    };
+    Dataset {
+        name: format!("synth-images-{hw}"),
+        train,
+        test,
+        calib,
+        num_classes: 10,
+    }
+}
+
+fn gen_images(rng: &mut Rng, n: usize, hw: usize) -> Split {
+    let mut data = Vec::with_capacity(n * 3 * hw * hw);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = rng.below(10);
+        labels.push(class);
+        // Class-defining structure.
+        let theta = class as f32 * std::f32::consts::PI / 10.0;
+        let freq = 1.0 + (class % 3) as f32;
+        let blob_x = ((class * 7) % 10) as f32 / 10.0;
+        let blob_y = ((class * 3) % 10) as f32 / 10.0;
+        // Per-sample nuisance: illumination spans orders of magnitude
+        // (log-normal) — the wide-dynamic-range mechanism.
+        let amp = (rng.normal() * 0.8).exp() as f32;
+        let phase = rng.uniform_in(0.0, f64::from(std::f32::consts::TAU)) as f32;
+        // Spatial jitter keeps classes from being trivially separable.
+        let jx = rng.normal() as f32 * 0.06;
+        let jy = rng.normal() as f32 * 0.06;
+        for c in 0..3usize {
+            let cphase = phase + c as f32 * 0.7;
+            for y in 0..hw {
+                for x in 0..hw {
+                    let xf = x as f32 / hw as f32;
+                    let yf = y as f32 / hw as f32;
+                    let grating = (freq * std::f32::consts::TAU
+                        * (xf * theta.cos() + yf * theta.sin())
+                        + cphase)
+                        .sin();
+                    let dx = xf - (blob_x + jx);
+                    let dy = yf - (blob_y + jy);
+                    let blob = (-(dx * dx + dy * dy) * 30.0).exp() * 1.2;
+                    let noise = rng.normal() as f32 * 0.65;
+                    data.push(amp * (grating + blob + noise));
+                }
+            }
+        }
+    }
+    Split {
+        inputs: Tensor::from_vec(data, &[n, 3, hw, hw]),
+        labels,
+    }
+}
+
+/// The four GLUE-analogue tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GlueTask {
+    /// Acceptability (CoLA analogue): reject sequences containing a
+    /// forbidden bigram. Binary, class-imbalanced; scored with Matthews
+    /// correlation like CoLA.
+    Cola,
+    /// Natural language inference (MNLI analogue): 3-way relation between
+    /// the two halves, driven by token overlap and a negation marker.
+    Mnli,
+    /// Paraphrase (MRPC analogue): is the second half a (noisy) shuffle of
+    /// the first? Binary; scored with F1 like MRPC.
+    Mrpc,
+    /// Sentiment (SST-2 analogue): sign of summed token valence. Binary.
+    Sst2,
+}
+
+impl GlueTask {
+    /// Task display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GlueTask::Cola => "CoLA-like",
+            GlueTask::Mnli => "MNLI-like",
+            GlueTask::Mrpc => "MRPC-like",
+            GlueTask::Sst2 => "SST-2-like",
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(self) -> usize {
+        match self {
+            GlueTask::Mnli => 3,
+            _ => 2,
+        }
+    }
+}
+
+/// Vocabulary size of the GLUE-analogue tasks.
+pub const GLUE_VOCAB: usize = 30;
+/// Sequence length (CLS + 14 content/SEP + padding).
+pub const GLUE_SEQ_LEN: usize = 16;
+
+const CLS: f32 = 0.0;
+const SEP: f32 = 1.0;
+const NEG_MARKER: usize = 26;
+
+/// Generates a GLUE-analogue dataset.
+#[must_use]
+pub fn glue_like(task: GlueTask, seed: u64, n_train: usize, n_test: usize) -> Dataset {
+    let mut rng = Rng::new(seed ^ 0x61_75_65);
+    let train = gen_glue(task, &mut rng, n_train);
+    let test = gen_glue(task, &mut rng, n_test);
+    // 5 % calibration split, as in the paper.
+    let calib_n = (n_train / 20).max(8);
+    let calib = Split {
+        inputs: train.inputs.slice_outer(0, calib_n),
+        labels: train.labels[..calib_n].to_vec(),
+    };
+    Dataset {
+        name: task.name().to_owned(),
+        train,
+        test,
+        calib,
+        num_classes: task.num_classes(),
+    }
+}
+
+fn gen_glue(task: GlueTask, rng: &mut Rng, n: usize) -> Split {
+    let t = GLUE_SEQ_LEN;
+    let mut data = Vec::with_capacity(n * t);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tokens, label) = match task {
+            GlueTask::Sst2 => gen_sst2(rng),
+            GlueTask::Cola => gen_cola(rng),
+            GlueTask::Mrpc => gen_mrpc(rng),
+            GlueTask::Mnli => gen_mnli(rng),
+        };
+        debug_assert_eq!(tokens.len(), t);
+        data.extend(tokens);
+        labels.push(label);
+    }
+    Split {
+        inputs: Tensor::from_vec(data, &[n, t]),
+        labels,
+    }
+}
+
+fn content_token(rng: &mut Rng) -> usize {
+    2 + rng.below(24) // 2..=25
+}
+
+fn gen_sst2(rng: &mut Rng) -> (Vec<f32>, usize) {
+    let mut toks = vec![CLS];
+    let mut valence = 0i32;
+    for _ in 0..GLUE_SEQ_LEN - 2 {
+        let tk = content_token(rng);
+        valence += if tk <= 13 { 1 } else { -1 };
+        toks.push(tk as f32);
+    }
+    toks.push(SEP);
+    // Zero-valence ties (possible with an even token count) label as 0.
+    ((toks), usize::from(valence > 0))
+}
+
+fn gen_cola(rng: &mut Rng) -> (Vec<f32>, usize) {
+    // Forbidden bigram: two consecutive tokens from 20..=25.
+    // ~62 % acceptable, mirroring CoLA's imbalance.
+    let make_bad = rng.uniform() < 0.38;
+    loop {
+        let mut toks = vec![CLS];
+        for _ in 0..GLUE_SEQ_LEN - 2 {
+            toks.push(content_token(rng) as f32);
+        }
+        toks.push(SEP);
+        if make_bad {
+            // Inject a forbidden bigram at a random interior position.
+            let pos = 1 + rng.below(GLUE_SEQ_LEN - 3);
+            toks[pos] = (20 + rng.below(6)) as f32;
+            toks[pos + 1] = (20 + rng.below(6)) as f32;
+            return (toks, 0);
+        }
+        let bad = toks
+            .windows(2)
+            .any(|w| (20.0..=25.0).contains(&w[0]) && (20.0..=25.0).contains(&w[1]));
+        if !bad {
+            return (toks, 1);
+        }
+    }
+}
+
+fn gen_mrpc(rng: &mut Rng) -> (Vec<f32>, usize) {
+    // [CLS] a1..a6 [SEP] b1..b6 [SEP] pad
+    let half = 6;
+    let a: Vec<usize> = (0..half).map(|_| content_token(rng)).collect();
+    let paraphrase = rng.uniform() < 0.5;
+    let b: Vec<usize> = if paraphrase {
+        let mut b = a.clone();
+        rng.shuffle(&mut b);
+        // One noisy substitution half the time.
+        if rng.uniform() < 0.5 {
+            let i = rng.below(half);
+            b[i] = content_token(rng);
+        }
+        b
+    } else {
+        (0..half).map(|_| content_token(rng)).collect()
+    };
+    let mut toks = vec![CLS];
+    toks.extend(a.iter().map(|&v| v as f32));
+    toks.push(SEP);
+    toks.extend(b.iter().map(|&v| v as f32));
+    toks.push(SEP);
+    while toks.len() < GLUE_SEQ_LEN {
+        toks.push(SEP);
+    }
+    (toks, usize::from(paraphrase))
+}
+
+fn gen_mnli(rng: &mut Rng) -> (Vec<f32>, usize) {
+    // Label 0 = entailment (hypothesis ⊂ premise), 1 = neutral (partial
+    // overlap), 2 = contradiction (negation marker + overlap).
+    let label = rng.below(3);
+    let half = 6;
+    let premise: Vec<usize> = (0..half).map(|_| content_token(rng)).collect();
+    let mut hypothesis: Vec<usize> = match label {
+        0 => {
+            let mut h = premise.clone();
+            rng.shuffle(&mut h);
+            h
+        }
+        1 => {
+            let mut h: Vec<usize> = premise[..half / 2].to_vec();
+            while h.len() < half {
+                h.push(content_token(rng));
+            }
+            rng.shuffle(&mut h);
+            h
+        }
+        _ => {
+            let mut h = premise.clone();
+            rng.shuffle(&mut h);
+            h[0] = NEG_MARKER;
+            h
+        }
+    };
+    if label == 1 {
+        rng.shuffle(&mut hypothesis);
+    }
+    let mut toks = vec![CLS];
+    toks.extend(premise.iter().map(|&v| v as f32));
+    toks.push(SEP);
+    toks.extend(hypothesis.iter().map(|&v| v as f32));
+    toks.push(SEP);
+    while toks.len() < GLUE_SEQ_LEN {
+        toks.push(SEP);
+    }
+    (toks, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_shapes_and_determinism() {
+        let a = synthetic_images(5, 40, 20, 8);
+        let b = synthetic_images(5, 40, 20, 8);
+        assert_eq!(a.train.inputs.shape(), &[40, 3, 8, 8]);
+        assert_eq!(a.test.len(), 20);
+        assert_eq!(a.train.inputs.data(), b.train.inputs.data());
+        assert_eq!(a.train.labels, b.train.labels);
+        assert!(a.calib.len() <= 40);
+    }
+
+    #[test]
+    fn images_have_wide_dynamic_range() {
+        let d = synthetic_images(11, 400, 10, 8);
+        // Per-sample max |x| should span at least ~30x between the dimmest
+        // and brightest samples (the log-normal illumination).
+        let mut maxima = Vec::new();
+        for i in 0..400 {
+            maxima.push(d.train.inputs.slice_outer(i, i + 1).max_abs());
+        }
+        let hi = maxima.iter().fold(0.0f32, |a, &b| a.max(b));
+        let lo = maxima.iter().fold(f32::MAX, |a, &b| a.min(b));
+        assert!(hi / lo > 30.0, "range ratio {}", hi / lo);
+    }
+
+    #[test]
+    fn images_cover_all_classes() {
+        let d = synthetic_images(3, 300, 10, 8);
+        for c in 0..10 {
+            assert!(d.train.labels.contains(&c), "class {c} missing");
+        }
+    }
+
+    #[test]
+    fn glue_tasks_generate_valid_sequences() {
+        for task in [GlueTask::Cola, GlueTask::Mnli, GlueTask::Mrpc, GlueTask::Sst2] {
+            let d = glue_like(task, 1, 100, 50);
+            assert_eq!(d.train.inputs.shape(), &[100, GLUE_SEQ_LEN]);
+            assert_eq!(d.num_classes, task.num_classes());
+            for &v in d.train.inputs.data() {
+                assert!(v >= 0.0 && (v as usize) < GLUE_VOCAB, "token {v}");
+            }
+            for &l in &d.train.labels {
+                assert!(l < d.num_classes);
+            }
+            // Every class occurs.
+            for c in 0..d.num_classes {
+                assert!(d.train.labels.contains(&c), "{task:?} class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn cola_rule_consistency() {
+        let d = glue_like(GlueTask::Cola, 9, 300, 10);
+        for i in 0..300 {
+            let row = d.train.inputs.slice_outer(i, i + 1);
+            let bad = row
+                .data()
+                .windows(2)
+                .any(|w| (20.0..=25.0).contains(&w[0]) && (20.0..=25.0).contains(&w[1]));
+            assert_eq!(d.train.labels[i], usize::from(!bad), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn cola_is_imbalanced_like_the_real_thing() {
+        let d = glue_like(GlueTask::Cola, 2, 1000, 10);
+        let pos = d.train.labels.iter().filter(|&&l| l == 1).count();
+        assert!((550..750).contains(&pos), "positives {pos}");
+    }
+
+    #[test]
+    fn sst2_rule_consistency() {
+        let d = glue_like(GlueTask::Sst2, 4, 200, 10);
+        for i in 0..200 {
+            let row = d.train.inputs.slice_outer(i, i + 1);
+            let valence: i32 = row
+                .data()
+                .iter()
+                .filter(|&&v| v >= 2.0)
+                .map(|&v| if v <= 13.0 { 1 } else { -1 })
+                .sum();
+            assert_eq!(d.train.labels[i], usize::from(valence > 0));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The [`Layer`] trait, forward context, and the activation [`Tap`] hook
+//! that the PTQ pipeline uses to observe and fake-quantize activations at
+//! every layer boundary.
+
+use crate::param::ParamVisitor;
+use mersit_tensor::Tensor;
+
+/// Observer/transformer of inter-layer activations.
+///
+/// During calibration a tap records per-layer maxima and returns the tensor
+/// unchanged; during quantized inference it fake-quantizes the tensor.
+pub trait Tap {
+    /// Called with each produced activation; returns the (possibly
+    /// transformed) tensor that flows onward.
+    fn activation(&mut self, path: &str, t: Tensor) -> Tensor;
+}
+
+/// Forward-pass context: training flag, hierarchical path, optional tap.
+pub struct Ctx<'a> {
+    /// Training mode (enables caching for backward, batch statistics).
+    pub train: bool,
+    path: Vec<String>,
+    tap: Option<&'a mut dyn Tap>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Inference context without a tap.
+    #[must_use]
+    pub fn inference() -> Self {
+        Self {
+            train: false,
+            path: Vec::new(),
+            tap: None,
+        }
+    }
+
+    /// Training context (caches intermediates for backward).
+    #[must_use]
+    pub fn training() -> Self {
+        Self {
+            train: true,
+            path: Vec::new(),
+            tap: None,
+        }
+    }
+
+    /// Inference context with an activation tap.
+    pub fn with_tap(tap: &'a mut dyn Tap) -> Self {
+        Self {
+            train: false,
+            path: Vec::new(),
+            tap: Some(tap),
+        }
+    }
+
+    /// Pushes a path component (container entering a child).
+    pub fn push(&mut self, name: &str) {
+        self.path.push(name.to_owned());
+    }
+
+    /// Pops a path component.
+    pub fn pop(&mut self) {
+        self.path.pop();
+    }
+
+    /// Current hierarchical path joined with `.`.
+    #[must_use]
+    pub fn path(&self) -> String {
+        self.path.join(".")
+    }
+
+    /// Routes an activation through the tap (if any).
+    #[must_use]
+    pub fn tap_activation(&mut self, t: Tensor) -> Tensor {
+        let p = self.path();
+        match self.tap.as_mut() {
+            Some(tap) => tap.activation(&p, t),
+            None => t,
+        }
+    }
+
+    /// Whether a tap is attached.
+    #[must_use]
+    pub fn has_tap(&self) -> bool {
+        self.tap.is_some()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// `forward` must cache whatever `backward` needs **only** when
+/// `ctx.train` is set; `backward` consumes those caches and returns the
+/// gradient with respect to the layer input, accumulating parameter
+/// gradients into its [`Param`]s.
+///
+/// The [`std::any::Any`] supertrait allows structural model transforms
+/// (such as batch-norm folding) to downcast children of containers.
+pub trait Layer: std::any::Any {
+    /// Forward pass.
+    fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor;
+
+    /// Backward pass (valid after a `train` forward).
+    fn backward(&mut self, dout: Tensor) -> Tensor;
+
+    /// Visits all trainable parameters with hierarchical names.
+    fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>);
+
+    /// Short type label used in paths ("conv", "linear", …).
+    fn kind(&self) -> &'static str;
+
+    /// Recursively applies batch-norm folding inside nested containers.
+    /// Containers override this; leaf layers do nothing.
+    fn fold_bn(&mut self) {}
+}
+
+/// Joins a prefix and a component with `.` (skipping empty prefixes).
+#[must_use]
+pub fn join_path(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_stack() {
+        let mut c = Ctx::inference();
+        assert_eq!(c.path(), "");
+        c.push("net");
+        c.push("0");
+        assert_eq!(c.path(), "net.0");
+        c.pop();
+        assert_eq!(c.path(), "net");
+    }
+
+    struct Doubler;
+    impl Tap for Doubler {
+        fn activation(&mut self, _p: &str, t: Tensor) -> Tensor {
+            t.scale(2.0)
+        }
+    }
+
+    #[test]
+    fn tap_transforms_activations() {
+        let mut tap = Doubler;
+        let mut c = Ctx::with_tap(&mut tap);
+        let t = Tensor::full(&[2], 3.0);
+        let out = c.tap_activation(t);
+        assert_eq!(out.data(), &[6.0, 6.0]);
+        assert!(c.has_tap());
+    }
+
+    #[test]
+    fn join_path_rules() {
+        assert_eq!(join_path("", "conv"), "conv");
+        assert_eq!(join_path("net.0", "w"), "net.0.w");
+    }
+}

@@ -1,0 +1,108 @@
+//! Evaluation metrics matching the GLUE conventions: accuracy, Matthews
+//! correlation (CoLA), and F1 (MRPC).
+
+/// Fraction of exact matches, in percent.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty inputs.
+#[must_use]
+pub fn accuracy(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    assert!(!preds.is_empty(), "empty predictions");
+    let hits = preds.iter().zip(labels).filter(|(a, b)| a == b).count();
+    100.0 * hits as f64 / preds.len() as f64
+}
+
+/// Matthews correlation coefficient for binary labels, scaled ×100 as GLUE
+/// reports it. Returns 0 when any marginal is empty (the standard
+/// convention).
+///
+/// # Panics
+///
+/// Panics on length mismatch or non-binary labels.
+#[must_use]
+pub fn matthews(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    let (mut tp, mut tn, mut fp, mut fneg) = (0f64, 0f64, 0f64, 0f64);
+    for (&p, &y) in preds.iter().zip(labels) {
+        assert!(p < 2 && y < 2, "matthews needs binary labels");
+        match (p, y) {
+            (1, 1) => tp += 1.0,
+            (0, 0) => tn += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fneg += 1.0,
+            _ => unreachable!(),
+        }
+    }
+    let denom = ((tp + fp) * (tp + fneg) * (tn + fp) * (tn + fneg)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        100.0 * (tp * tn - fp * fneg) / denom
+    }
+}
+
+/// Binary F1 score of the positive class, in percent.
+///
+/// # Panics
+///
+/// Panics on length mismatch or non-binary labels.
+#[must_use]
+pub fn f1_binary(preds: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    let (mut tp, mut fp, mut fneg) = (0f64, 0f64, 0f64);
+    for (&p, &y) in preds.iter().zip(labels) {
+        assert!(p < 2 && y < 2, "f1 needs binary labels");
+        match (p, y) {
+            (1, 1) => tp += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fneg += 1.0,
+            _ => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fneg);
+    100.0 * 2.0 * precision * recall / (precision + recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 100.0);
+        assert_eq!(accuracy(&[1, 0, 3], &[1, 2, 3]), 100.0 * 2.0 / 3.0);
+    }
+
+    #[test]
+    fn matthews_perfect_and_inverse() {
+        let y = [1, 0, 1, 0, 1, 1, 0, 0];
+        assert!((matthews(&y, &y) - 100.0).abs() < 1e-9);
+        let inv: Vec<usize> = y.iter().map(|&v| 1 - v).collect();
+        assert!((matthews(&inv, &y) + 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matthews_degenerate_predictions_zero() {
+        // All-positive predictions on mixed labels → 0 by convention.
+        assert_eq!(matthews(&[1, 1, 1, 1], &[1, 0, 1, 0]), 0.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        // tp=2, fp=1, fn=1 → precision 2/3, recall 2/3 → F1 = 2/3.
+        let p = [1, 1, 1, 0, 0];
+        let y = [1, 1, 0, 1, 0];
+        assert!((f1_binary(&p, &y) - 100.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_no_positive_predictions() {
+        assert_eq!(f1_binary(&[0, 0], &[1, 0]), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Trainable parameters: a value tensor paired with its gradient
+//! accumulator.
+
+use mersit_tensor::Tensor;
+
+/// A trainable parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    #[must_use]
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape());
+    }
+
+    /// Number of scalar parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// Visitor callback type for parameter traversal.
+pub type ParamVisitor<'a> = dyn FnMut(&str, &mut Param) + 'a;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::full(&[2, 3], 1.5));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(&[4]));
+        p.grad = Tensor::full(&[4], 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

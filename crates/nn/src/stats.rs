@@ -1,0 +1,226 @@
+//! Model profiling: per-layer MAC counts (for accelerator-level cost
+//! models) and activation-distribution statistics (the quantities that
+//! decide which 8-bit format survives PTQ on a given architecture).
+
+use crate::layer::{Ctx, Layer, Tap};
+use crate::models::Model;
+use mersit_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Statistics of one profiled layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStats {
+    /// Tap path of the layer.
+    pub path: String,
+    /// Output activation shape.
+    pub out_shape: Vec<usize>,
+    /// Multiply-accumulate operations for the profiled batch
+    /// (0 for parameter-free layers).
+    pub macs: u64,
+    /// Parameter count of the layer's weight tensor (0 if none).
+    pub params: u64,
+    /// RMS of the output activations.
+    pub act_rms: f64,
+    /// Max |activation|.
+    pub act_max: f64,
+    /// Fraction of activations with |x| > 4·RMS (outlier ratio).
+    pub outlier_ratio: f64,
+}
+
+impl LayerStats {
+    /// Dynamic-range demand of this layer's activations:
+    /// `log2(max / rms)` (0 when degenerate).
+    #[must_use]
+    pub fn range_demand_bits(&self) -> f64 {
+        if self.act_rms > 0.0 && self.act_max > 0.0 {
+            (self.act_max / self.act_rms).log2()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Whole-model profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Model name.
+    pub model: String,
+    /// Batch size the profile was taken at.
+    pub batch: usize,
+    /// Per-layer stats, forward order.
+    pub layers: Vec<LayerStats>,
+}
+
+impl ModelProfile {
+    /// Total MACs for the profiled batch.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total parameters.
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// MACs per sample.
+    #[must_use]
+    pub fn macs_per_sample(&self) -> u64 {
+        self.total_macs() / self.batch.max(1) as u64
+    }
+
+    /// The worst (largest) per-layer dynamic-range demand.
+    #[must_use]
+    pub fn peak_range_demand_bits(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(LayerStats::range_demand_bits)
+            .fold(0.0, f64::max)
+    }
+}
+
+struct StatTap {
+    shapes: Vec<(String, Vec<usize>, f64, f64, f64)>,
+}
+
+impl Tap for StatTap {
+    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+        let rms = f64::from(t.rms());
+        let max = f64::from(t.max_abs());
+        let outliers = if rms > 0.0 {
+            t.data().iter().filter(|&&v| f64::from(v.abs()) > 4.0 * rms).count() as f64
+                / t.len() as f64
+        } else {
+            0.0
+        };
+        self.shapes
+            .push((path.to_owned(), t.shape().to_vec(), rms, max, outliers));
+        t
+    }
+}
+
+/// Profiles a model on one batch: MAC counts (inferred from weight/output
+/// shapes: `macs = out_elems × ∏ w.shape[1..]`, which is exact for conv,
+/// depthwise conv and linear layers) and activation statistics.
+///
+/// Embedding gathers are excluded from MAC counts. Projection layers
+/// inside SE blocks and attention (which are not activation-tap sites)
+/// are also excluded — they contribute <2 % of the MACs in the vision
+/// zoo; use the per-path weight census in `total_params` for exact
+/// parameter counts.
+#[must_use]
+pub fn profile_model(model: &mut Model, x: &Tensor) -> ModelProfile {
+    let batch = x.shape()[0];
+    // Collect weights by layer prefix (strip the trailing param name).
+    let mut weights: BTreeMap<String, Vec<Vec<usize>>> = BTreeMap::new();
+    model.net.visit_params("", &mut |path, p| {
+        if p.value.shape().len() >= 2 {
+            let prefix = path.rsplit_once('.').map_or(path, |(pre, _)| pre);
+            weights
+                .entry(prefix.to_owned())
+                .or_default()
+                .push(p.value.shape().to_vec());
+        }
+    });
+    let mut tap = StatTap { shapes: Vec::new() };
+    {
+        let mut ctx = Ctx::with_tap(&mut tap);
+        let _ = model.net.forward(x.clone(), &mut ctx);
+    }
+    let layers = tap
+        .shapes
+        .into_iter()
+        .map(|(path, out_shape, rms, max, outliers)| {
+            let out_elems: u64 = out_shape.iter().product::<usize>() as u64;
+            let (macs, params) = match weights.get(&path) {
+                Some(ws) => {
+                    let is_embedding = path.contains("embed");
+                    let mut macs = 0u64;
+                    let mut params = 0u64;
+                    for w in ws {
+                        params += w.iter().product::<usize>() as u64;
+                        if !is_embedding {
+                            macs += out_elems * w[1..].iter().product::<usize>() as u64;
+                        }
+                    }
+                    (macs, params)
+                }
+                None => (0, 0),
+            };
+            LayerStats {
+                path,
+                out_shape,
+                macs,
+                params,
+                act_rms: rms,
+                act_max: max,
+                outlier_ratio: outliers,
+            }
+        })
+        .collect();
+    ModelProfile {
+        model: model.name.clone(),
+        batch,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{mobilenet_v3_t, vgg_t};
+    use mersit_tensor::Rng;
+
+    #[test]
+    fn vgg_mac_count_matches_hand_computation() {
+        let mut rng = Rng::new(1);
+        let mut m = vgg_t(12, 10, &mut rng);
+        let x = Tensor::randn(&[2, 3, 12, 12], 1.0, &mut rng);
+        let p = profile_model(&mut m, &x);
+        // conv1: out [2,16,12,12], w [16, 27] → 2·16·144·27
+        let conv1 = &p.layers[0];
+        assert_eq!(conv1.macs, 2 * 16 * 144 * 27);
+        // Total must cover all conv + linear layers.
+        let hand: u64 = 2
+            * ((16 * 144 * 27)      // conv 3→16
+                + (16 * 144 * 16 * 9)  // conv 16→16
+                + (32 * 36 * 16 * 9)   // conv 16→32 (after pool, 6x6)
+                + (32 * 36 * 32 * 9)   // conv 32→32
+                + (64 * 32 * 9)        // fc 288→64
+                + (10 * 64));          // fc 64→10
+        assert_eq!(p.total_macs(), hand);
+        assert_eq!(p.batch, 2);
+        assert_eq!(p.macs_per_sample(), hand / 2);
+    }
+
+    #[test]
+    fn stats_capture_distribution_shape() {
+        let mut rng = Rng::new(2);
+        let mut m = mobilenet_v3_t(10, 10, &mut rng);
+        let x = Tensor::randn(&[4, 3, 10, 10], 1.0, &mut rng);
+        let p = profile_model(&mut m, &x);
+        assert!(p.layers.len() > 20);
+        assert!(p.total_params() > 3_000);
+        for l in &p.layers {
+            assert!(l.act_max >= 0.0 && l.act_rms >= 0.0, "{}", l.path);
+            assert!(
+                (0.0..=1.0).contains(&l.outlier_ratio),
+                "{}: {}",
+                l.path,
+                l.outlier_ratio
+            );
+        }
+        assert!(p.peak_range_demand_bits() > 0.5);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let mut rng = Rng::new(3);
+        let mut m = vgg_t(8, 10, &mut rng);
+        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        let a = profile_model(&mut m, &x);
+        let b = profile_model(&mut m, &x);
+        assert_eq!(a, b);
+    }
+}

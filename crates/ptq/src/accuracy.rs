@@ -1,0 +1,163 @@
+//! The Table 2 harness: trains nothing itself — given a *pre-trained*
+//! model and a dataset, it calibrates once and scores every format.
+
+use crate::calibrate::{calibrate, Calibration};
+use crate::executor::evaluate_format;
+use mersit_core::FormatRef;
+use mersit_nn::{accuracy, f1_binary, matthews, predict, Dataset, Model};
+
+/// Which GLUE-style metric a task reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Top-1 accuracy (vision tasks, SST-2, MNLI).
+    Accuracy,
+    /// Matthews correlation ×100 (CoLA).
+    Matthews,
+    /// Binary F1 ×100 (MRPC).
+    F1,
+}
+
+impl Metric {
+    /// Scores predictions against labels.
+    #[must_use]
+    pub fn score(self, preds: &[usize], labels: &[usize]) -> f64 {
+        match self {
+            Metric::Accuracy => accuracy(preds, labels),
+            Metric::Matthews => matthews(preds, labels),
+            Metric::F1 => f1_binary(preds, labels),
+        }
+    }
+}
+
+/// Score of one format on one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatScore {
+    /// Format name.
+    pub format: String,
+    /// Metric value (percent / ×100).
+    pub score: f64,
+}
+
+/// One row of the Table 2 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRow {
+    /// Model / task name.
+    pub model: String,
+    /// FP32 baseline score.
+    pub fp32: f64,
+    /// Per-format PTQ scores, in the order given.
+    pub scores: Vec<FormatScore>,
+}
+
+impl EvalRow {
+    /// Looks up a format's score by name.
+    #[must_use]
+    pub fn score_of(&self, format: &str) -> Option<f64> {
+        self.scores
+            .iter()
+            .find(|s| s.format == format)
+            .map(|s| s.score)
+    }
+}
+
+/// Calibrates on the dataset's calibration split and evaluates the FP32
+/// baseline plus every format on the test split.
+pub fn evaluate_model(
+    model: &mut Model,
+    ds: &Dataset,
+    formats: &[FormatRef],
+    metric: Metric,
+    batch: usize,
+) -> (EvalRow, Calibration) {
+    let cal = calibrate(model, &ds.calib.inputs, batch);
+    let fp_preds = predict(&mut model.net, &ds.test.inputs, batch);
+    let fp32 = metric.score(&fp_preds, &ds.test.labels);
+    let mut scores = Vec::with_capacity(formats.len());
+    for fmt in formats {
+        let preds = evaluate_format(model, fmt.as_ref(), &cal, &ds.test.inputs, batch);
+        scores.push(FormatScore {
+            format: fmt.name(),
+            score: metric.score(&preds, &ds.test.labels),
+        });
+    }
+    (
+        EvalRow {
+            model: model.name.clone(),
+            fp32,
+            scores,
+        },
+        cal,
+    )
+}
+
+/// Renders rows as an aligned text table (the shape of Table 2).
+#[must_use]
+pub fn render_table(rows: &[EvalRow], formats: &[FormatRef]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<20} {:>8}", "Model", "FP32"));
+    for f in formats {
+        out.push_str(&format!(" {:>12}", f.name()));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<20} {:>8.2}", row.model, row.fp32));
+        for f in formats {
+            let v = row.score_of(&f.name()).unwrap_or(f64::NAN);
+            out.push_str(&format!(" {v:>12.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mersit_core::parse_format;
+    use mersit_nn::models::vgg_t;
+    use mersit_nn::{synthetic_images, train_classifier, TrainConfig};
+    use mersit_tensor::Rng;
+
+    #[test]
+    fn metric_dispatch() {
+        let p = [1usize, 0, 1, 1];
+        let y = [1usize, 0, 0, 1];
+        assert_eq!(Metric::Accuracy.score(&p, &y), 75.0);
+        assert!(Metric::Matthews.score(&p, &y) > 0.0);
+        assert!(Metric::F1.score(&p, &y) > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_tiny_table2_row() {
+        // Train a tiny model briefly, then check the harness produces
+        // sane scores: near-lossless formats stay close to FP32.
+        let mut rng = Rng::new(42);
+        let mut model = vgg_t(8, 10, &mut rng);
+        let ds = synthetic_images(7, 300, 120, 8);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        train_classifier(&mut model.net, &ds.train, &cfg);
+        let formats = vec![
+            parse_format("MERSIT(8,2)").unwrap(),
+            parse_format("Posit(8,1)").unwrap(),
+        ];
+        let (row, cal) = evaluate_model(&mut model, &ds, &formats, Metric::Accuracy, 32);
+        assert!(cal.num_sites() > 5);
+        assert!(row.fp32 > 30.0, "model failed to learn: {}", row.fp32);
+        for s in &row.scores {
+            assert!(
+                s.score > row.fp32 - 25.0,
+                "{} collapsed: {} vs fp32 {}",
+                s.format,
+                s.score,
+                row.fp32
+            );
+        }
+        let txt = render_table(&[row], &formats);
+        assert!(txt.contains("vgg_t"));
+        assert!(txt.contains("MERSIT(8,2)"));
+    }
+}

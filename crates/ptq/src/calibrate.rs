@@ -1,0 +1,155 @@
+//! Calibration: run a small data subset through the FP32 model and record
+//! the per-layer activation maxima that become the PTQ scaling parameters
+//! (§4.1 of the paper).
+
+use mersit_nn::{Ctx, Layer, Model, Tap};
+use mersit_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Pseudo-path under which the network input's maximum is recorded.
+pub const INPUT_PATH: &str = "__input__";
+
+/// Per-layer activation maxima collected on the calibration split.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Calibration {
+    /// Max |activation| keyed by tap path.
+    pub act_max: BTreeMap<String, f32>,
+}
+
+impl Calibration {
+    /// Maximum recorded for a path (0 if the path never fired).
+    #[must_use]
+    pub fn max_for(&self, path: &str) -> f32 {
+        self.act_max.get(path).copied().unwrap_or(0.0)
+    }
+
+    /// Number of observed activation sites.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.act_max.len()
+    }
+}
+
+struct CalibTap<'a> {
+    cal: &'a mut Calibration,
+}
+
+impl Tap for CalibTap<'_> {
+    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+        let m = t.max_abs();
+        let e = self.cal.act_max.entry(path.to_owned()).or_insert(0.0);
+        if m > *e {
+            *e = m;
+        }
+        t
+    }
+}
+
+/// Runs the calibration split through the model, recording activation
+/// maxima (including the input under [`INPUT_PATH`]).
+pub fn calibrate(model: &mut Model, inputs: &Tensor, batch: usize) -> Calibration {
+    let mut cal = Calibration::default();
+    let n = inputs.shape()[0];
+    let mut i = 0;
+    while i < n {
+        let hi = (i + batch).min(n);
+        let x = inputs.slice_outer(i, hi);
+        {
+            let e = cal.act_max.entry(INPUT_PATH.to_owned()).or_insert(0.0);
+            let m = x.max_abs();
+            if m > *e {
+                *e = m;
+            }
+        }
+        let mut tap = CalibTap { cal: &mut cal };
+        let mut ctx = Ctx::with_tap(&mut tap);
+        let _ = model.net.forward(x, &mut ctx);
+        i = hi;
+    }
+    cal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mersit_nn::models::vgg_t;
+    use mersit_tensor::Rng;
+
+    #[test]
+    fn calibration_records_every_layer() {
+        let mut rng = Rng::new(1);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let x = Tensor::randn(&[4, 3, 12, 12], 1.0, &mut rng);
+        let cal = calibrate(&mut model, &x, 2);
+        // 14 tapped layers + the input.
+        assert_eq!(cal.num_sites(), 15, "{:?}", cal.act_max.keys());
+        assert!(cal.max_for(INPUT_PATH) > 0.0);
+        for (path, &m) in &cal.act_max {
+            assert!(m >= 0.0, "{path}");
+        }
+    }
+
+    #[test]
+    fn calibration_maxima_grow_monotonically() {
+        let mut rng = Rng::new(2);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let small = Tensor::randn(&[2, 3, 12, 12], 0.1, &mut rng);
+        let big = Tensor::randn(&[2, 3, 12, 12], 5.0, &mut rng);
+        let cal_small = calibrate(&mut model, &small, 2);
+        let both = Tensor::cat_outer(&[&small, &big]);
+        let cal_both = calibrate(&mut model, &both, 2);
+        assert!(cal_both.max_for(INPUT_PATH) >= cal_small.max_for(INPUT_PATH));
+    }
+
+    #[test]
+    fn unknown_path_reads_zero() {
+        let cal = Calibration::default();
+        assert_eq!(cal.max_for("nope"), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod consistency_tests {
+    use super::*;
+    use crate::executor::QuantTap;
+    use mersit_core::parse_format;
+    use mersit_nn::models::mobilenet_v3_t;
+    use mersit_tensor::Rng;
+    use std::collections::BTreeSet;
+
+    /// The quantized-inference tap must visit exactly the same activation
+    /// sites the calibration tap recorded — otherwise scales silently
+    /// go unused / unseen sites stay unquantized.
+    #[test]
+    fn quantized_inference_visits_calibrated_sites() {
+        struct Spy<'a> {
+            inner: QuantTap<'a>,
+            seen: BTreeSet<String>,
+        }
+        impl Tap for Spy<'_> {
+            fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+                self.seen.insert(path.to_owned());
+                self.inner.activation(path, t)
+            }
+        }
+        let mut rng = Rng::new(8);
+        let mut model = mobilenet_v3_t(8, 10, &mut rng);
+        let x = Tensor::randn(&[4, 3, 8, 8], 1.0, &mut rng);
+        let cal = calibrate(&mut model, &x, 2);
+        let fmt = parse_format("MERSIT(8,2)").unwrap();
+        let mut spy = Spy {
+            inner: QuantTap::new(fmt.as_ref(), &cal),
+            seen: BTreeSet::new(),
+        };
+        let mut ctx = Ctx::with_tap(&mut spy);
+        let _ = model.net.forward(x, &mut ctx);
+        let calibrated: BTreeSet<String> = cal
+            .act_max
+            .keys()
+            .filter(|k| k.as_str() != INPUT_PATH)
+            .cloned()
+            .collect();
+        assert_eq!(spy.seen, calibrated, "tap site mismatch");
+        assert!(spy.seen.len() > 20, "nontrivial site count");
+    }
+}

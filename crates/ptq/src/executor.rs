@@ -1,0 +1,227 @@
+//! Fake-quantized inference: weights quantized per output channel,
+//! activations quantized per layer at every tap point, using the
+//! calibrated maxima as scaling parameters.
+
+use crate::calibrate::{Calibration, INPUT_PATH};
+use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_for};
+use mersit_core::Format;
+use mersit_nn::{Ctx, InputKind, Layer, Model, Tap};
+use mersit_tensor::Tensor;
+
+/// Snapshot of model weights for restore-after-quantization.
+#[derive(Debug, Default)]
+pub struct WeightSnapshot {
+    values: Vec<Tensor>,
+}
+
+impl WeightSnapshot {
+    /// Captures all parameter values of a model.
+    #[must_use]
+    pub fn capture(model: &mut Model) -> Self {
+        let mut values = Vec::new();
+        model
+            .net
+            .visit_params("", &mut |_, p| values.push(p.value.clone()));
+        Self { values }
+    }
+
+    /// Restores previously captured values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model structure changed since capture.
+    pub fn restore(&self, model: &mut Model) {
+        let mut i = 0;
+        model.net.visit_params("", &mut |_, p| {
+            p.value = self.values[i].clone();
+            i += 1;
+        });
+        assert_eq!(i, self.values.len(), "parameter count changed");
+    }
+}
+
+/// Quantizes all rank-≥2 parameters (conv kernels, linear weights,
+/// embedding tables) per output channel through `fmt`; rank-1 parameters
+/// (biases, normalization scale/shift) stay in FP32, matching common PTQ
+/// practice where they fold into the high-precision accumulator path.
+pub fn quantize_weights(model: &mut Model, fmt: &dyn Format) {
+    model.net.visit_params("", &mut |_, p| {
+        if p.value.shape().len() >= 2 {
+            p.value = quantize_per_channel(fmt, &p.value);
+        }
+    });
+}
+
+/// The activation-quantizing tap.
+pub struct QuantTap<'a> {
+    fmt: &'a dyn Format,
+    cal: &'a Calibration,
+    anchor: f64,
+}
+
+impl<'a> QuantTap<'a> {
+    /// Creates the tap over calibrated maxima.
+    #[must_use]
+    pub fn new(fmt: &'a dyn Format, cal: &'a Calibration) -> Self {
+        let anchor = crate::quantizer::scale_anchor(fmt);
+        Self { fmt, cal, anchor }
+    }
+}
+
+impl Tap for QuantTap<'_> {
+    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+        let m = self.cal.max_for(path);
+        if m <= 0.0 {
+            return t; // site unseen at calibration: leave untouched
+        }
+        let s = f64::from(m) / self.anchor;
+        quantize_tensor(self.fmt, &t, s)
+    }
+}
+
+/// Runs fake-quantized inference (weights already quantized in the model)
+/// and returns argmax predictions.
+pub fn predict_quantized(
+    model: &mut Model,
+    fmt: &dyn Format,
+    cal: &Calibration,
+    inputs: &Tensor,
+    batch: usize,
+) -> Vec<usize> {
+    let n = inputs.shape()[0];
+    let mut preds = Vec::with_capacity(n);
+    let quant_input = model.input == InputKind::Image;
+    let mut i = 0;
+    while i < n {
+        let hi = (i + batch).min(n);
+        let mut x = inputs.slice_outer(i, hi);
+        if quant_input {
+            let m = cal.max_for(INPUT_PATH);
+            if m > 0.0 {
+                x = quantize_tensor(fmt, &x, scale_for(fmt, m));
+            }
+        }
+        let mut tap = QuantTap::new(fmt, cal);
+        let mut ctx = Ctx::with_tap(&mut tap);
+        let logits = model.net.forward(x, &mut ctx);
+        let k = logits.shape()[1];
+        for r in 0..(hi - i) {
+            let row = &logits.data()[r * k..(r + 1) * k];
+            let arg = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map_or(0, |(j, _)| j);
+            preds.push(arg);
+        }
+        i = hi;
+    }
+    preds
+}
+
+/// Full PTQ evaluation of one format on one model: quantize weights,
+/// run quantized inference, restore the FP32 weights, return predictions.
+pub fn evaluate_format(
+    model: &mut Model,
+    fmt: &dyn Format,
+    cal: &Calibration,
+    inputs: &Tensor,
+    batch: usize,
+) -> Vec<usize> {
+    let snap = WeightSnapshot::capture(model);
+    quantize_weights(model, fmt);
+    let preds = predict_quantized(model, fmt, cal, inputs, batch);
+    snap.restore(model);
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use mersit_core::parse_format;
+    use mersit_nn::models::vgg_t;
+    use mersit_nn::predict;
+    use mersit_tensor::Rng;
+
+    #[test]
+    fn snapshot_restores_weights_exactly() {
+        let mut rng = Rng::new(1);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let snap = WeightSnapshot::capture(&mut model);
+        let fmt = parse_format("FP(8,2)").unwrap();
+        quantize_weights(&mut model, fmt.as_ref());
+        // Weights changed...
+        let mut changed = false;
+        let mut i = 0;
+        model.net.visit_params("", &mut |_, p| {
+            if p.value.shape().len() >= 2 && p.value.data() != snap.values[i].data() {
+                changed = true;
+            }
+            i += 1;
+        });
+        assert!(changed);
+        // ...and restore brings them back.
+        snap.restore(&mut model);
+        let mut j = 0;
+        model.net.visit_params("", &mut |_, p| {
+            assert_eq!(p.value.data(), snap.values[j].data());
+            j += 1;
+        });
+    }
+
+    #[test]
+    fn rank1_params_stay_fp32() {
+        let mut rng = Rng::new(2);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let mut biases_before = Vec::new();
+        model.net.visit_params("", &mut |_, p| {
+            if p.value.shape().len() == 1 {
+                biases_before.push(p.value.clone());
+            }
+        });
+        let fmt = parse_format("INT8").unwrap();
+        quantize_weights(&mut model, fmt.as_ref());
+        let mut k = 0;
+        model.net.visit_params("", &mut |_, p| {
+            if p.value.shape().len() == 1 {
+                assert_eq!(p.value.data(), biases_before[k].data());
+                k += 1;
+            }
+        });
+    }
+
+    #[test]
+    fn high_precision_format_preserves_predictions() {
+        // Quantizing through a wide format (MERSIT at 4-bit fraction) on a
+        // random model should keep most predictions identical.
+        let mut rng = Rng::new(3);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let x = Tensor::randn(&[16, 3, 12, 12], 1.0, &mut rng);
+        let cal = calibrate(&mut model, &x, 8);
+        let fp = predict(&mut model.net, &x, 8);
+        let fmt = parse_format("MERSIT(8,2)").unwrap();
+        let q = evaluate_format(&mut model, fmt.as_ref(), &cal, &x, 8);
+        let agree = fp.iter().zip(&q).filter(|(a, b)| a == b).count();
+        assert!(agree >= 12, "only {agree}/16 predictions agree");
+    }
+
+    #[test]
+    fn degenerate_format_degrades_more() {
+        // FP(8,2) has a tiny dynamic range; it should disagree with FP32 at
+        // least as much as MERSIT(8,2) does.
+        let mut rng = Rng::new(4);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let x = Tensor::randn(&[24, 3, 12, 12], 2.0, &mut rng);
+        let cal = calibrate(&mut model, &x, 8);
+        let fp = predict(&mut model.net, &x, 8);
+        let agree = |name: &str, model: &mut Model| {
+            let fmt = parse_format(name).unwrap();
+            let q = evaluate_format(model, fmt.as_ref(), &cal, &x, 8);
+            fp.iter().zip(&q).filter(|(a, b)| a == b).count()
+        };
+        let good = agree("MERSIT(8,2)", &mut model);
+        let bad = agree("FP(8,2)", &mut model);
+        assert!(good >= bad, "MERSIT {good} vs FP(8,2) {bad}");
+    }
+}

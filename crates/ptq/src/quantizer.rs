@@ -1,0 +1,195 @@
+//! Scaled fake-quantization of tensors through any 8-bit [`Format`].
+//!
+//! Scaling follows the paper's §4.1 protocol: the maximum absolute value of
+//! the data (per output channel for weights, per tensor for activations)
+//! is mapped onto the format's largest finite magnitude, i.e.
+//! `scale = max|x| / max_finite`, then every element is rounded through the
+//! format and scaled back.
+
+use mersit_core::{Format, PrecisionProfile, ValueClass};
+use mersit_tensor::Tensor;
+
+/// The value the data maximum is mapped onto: the **largest representable
+/// value inside the format's full-precision band** (the highest binade
+/// still carrying the format's maximal effective fraction bits).
+///
+/// * INT8 → 127 and FP8 → `max_finite` (flat precision: the band reaches
+///   the top, recovering standard INT8/FP8 practice);
+/// * Posit/MERSIT → the top of the tapered-precision plateau (e.g. 3.875
+///   for Posit(8,1), 7.75 for MERSIT(8,2)), so the bulk of the data sits
+///   where the regime tapering still grants full fraction precision and
+///   the wide dynamic range below is spent on the distribution's tail —
+///   the §3.2 precision-band argument made operational.
+#[must_use]
+pub fn scale_anchor(fmt: &dyn Format) -> f64 {
+    let profile = PrecisionProfile::of(fmt);
+    let best = profile.max_frac_bits();
+    let top_exp = profile
+        .binades
+        .iter()
+        .filter(|b| b.frac_bits == best)
+        .map(|b| b.exp)
+        .max()
+        .expect("non-empty profile");
+    // Largest finite lattice value within that binade.
+    let mut anchor = 0.0f64;
+    for code in fmt.codes() {
+        let code = code as u16;
+        if fmt.classify(code) != ValueClass::Finite {
+            continue;
+        }
+        let v = fmt.decode(code);
+        if v > 0.0 && (v.log2().floor() as i32) == top_exp && v > anchor {
+            anchor = v;
+        }
+    }
+    anchor
+}
+
+/// Scale that maps `max_abs` onto [`scale_anchor`].
+/// Returns 1.0 for all-zero data.
+#[must_use]
+pub fn scale_for(fmt: &dyn Format, max_abs: f32) -> f64 {
+    if max_abs <= 0.0 {
+        1.0
+    } else {
+        f64::from(max_abs) / scale_anchor(fmt)
+    }
+}
+
+/// Fake-quantizes a whole tensor with one scale (per-tensor quantization,
+/// the paper's activation scheme).
+#[must_use]
+pub fn quantize_tensor(fmt: &dyn Format, t: &Tensor, scale: f64) -> Tensor {
+    t.map(|x| (fmt.quantize(f64::from(x) / scale) * scale) as f32)
+}
+
+/// Per-outermost-dimension max-abs values (per-output-channel statistics
+/// for `[OC, ...]` weight tensors).
+#[must_use]
+pub fn channel_max_abs(t: &Tensor) -> Vec<f32> {
+    let oc = t.shape()[0];
+    let inner: usize = t.shape()[1..].iter().product();
+    (0..oc)
+        .map(|c| {
+            t.data()[c * inner..(c + 1) * inner]
+                .iter()
+                .fold(0.0f32, |m, &x| m.max(x.abs()))
+        })
+        .collect()
+}
+
+/// Fake-quantizes a weight tensor per output channel (the paper's weight
+/// scheme).
+#[must_use]
+pub fn quantize_per_channel(fmt: &dyn Format, t: &Tensor) -> Tensor {
+    let maxes = channel_max_abs(t);
+    let oc = t.shape()[0];
+    let inner: usize = t.shape()[1..].iter().product();
+    let mut out = t.clone();
+    // The anchor is a per-format constant; hoist it out of the channel loop.
+    let anchor = scale_anchor(fmt);
+    for c in 0..oc {
+        let s = if maxes[c] <= 0.0 {
+            1.0
+        } else {
+            f64::from(maxes[c]) / anchor
+        };
+        for v in &mut out.data_mut()[c * inner..(c + 1) * inner] {
+            *v = (fmt.quantize(f64::from(*v) / s) * s) as f32;
+        }
+    }
+    out
+}
+
+/// Relative root-mean-square error between a tensor and a reference,
+/// normalized by the reference RMS. Returns 0 for a zero reference.
+#[must_use]
+pub fn relative_rmse(quantized: &Tensor, reference: &Tensor) -> f64 {
+    assert_eq!(quantized.shape(), reference.shape(), "shape mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&q, &r) in quantized.data().iter().zip(reference.data()) {
+        num += f64::from(q - r) * f64::from(q - r);
+        den += f64::from(r) * f64::from(r);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mersit_core::{parse_format, Int8, Mersit};
+    use mersit_tensor::Rng;
+
+    #[test]
+    fn scale_maps_max_to_the_precision_band_top() {
+        let m = Mersit::new(8, 2).unwrap();
+        // MERSIT(8,2): 4-bit band tops out in binade 2 → anchor 7.75.
+        assert!((scale_anchor(&m) - 7.75).abs() < 1e-12);
+        let s = scale_for(&m, 10.0);
+        assert!((10.0 / s - 7.75).abs() < 1e-12);
+        assert_eq!(scale_for(&m, 0.0), 1.0);
+    }
+
+    #[test]
+    fn anchors_recover_standard_practice_for_flat_formats() {
+        use mersit_core::{Fp8, Posit};
+        assert_eq!(scale_anchor(&Int8::new()), 127.0);
+        let f = Fp8::new(4).unwrap();
+        assert_eq!(scale_anchor(&f), f.max_finite());
+        let p = Posit::new(8, 1).unwrap();
+        assert!((scale_anchor(&p) - 3.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int8_quantization_matches_reference() {
+        let i = Int8::new();
+        let t = Tensor::from_vec(vec![0.0, 0.5, -1.0, 0.998], &[4]);
+        let s = scale_for(&i, 1.0); // 1/127
+        let q = quantize_tensor(&i, &t, s);
+        assert_eq!(q.data()[0], 0.0);
+        assert!((q.data()[1] - 0.5).abs() < 1.0 / 127.0);
+        assert!((q.data()[2] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_channel_uses_independent_scales() {
+        let m = Mersit::new(8, 2).unwrap();
+        // Channel 0 tiny, channel 1 large: per-channel keeps both precise.
+        let t = Tensor::from_vec(vec![0.001, 0.0009, 100.0, 90.0], &[2, 2]);
+        let q = quantize_per_channel(&m, &t);
+        let err0 = relative_rmse(&q.slice_outer(0, 1), &t.slice_outer(0, 1));
+        let err1 = relative_rmse(&q.slice_outer(1, 1), &t.slice_outer(1, 1));
+        assert!(err0 < 0.05, "small channel error {err0}");
+        assert!(err1 < 0.05, "large channel error {err1}");
+    }
+
+    #[test]
+    fn quantization_error_tracks_precision() {
+        // MERSIT(8,2) (4-bit peak precision) should beat FP(8,5)
+        // (2-bit precision) on well-scaled Gaussian data.
+        let mut rng = Rng::new(5);
+        let t = Tensor::randn(&[1000], 1.0, &mut rng);
+        let good = parse_format("MERSIT(8,2)").unwrap();
+        let bad = parse_format("FP(8,5)").unwrap();
+        let s_g = scale_for(good.as_ref(), t.max_abs());
+        let s_b = scale_for(bad.as_ref(), t.max_abs());
+        let e_g = relative_rmse(&quantize_tensor(good.as_ref(), &t, s_g), &t);
+        let e_b = relative_rmse(&quantize_tensor(bad.as_ref(), &t, s_b), &t);
+        assert!(e_g < e_b, "MERSIT {e_g} vs FP(8,5) {e_b}");
+    }
+
+    #[test]
+    fn relative_rmse_basics() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(relative_rmse(&a, &b), 0.0);
+        let z = Tensor::zeros(&[2]);
+        assert_eq!(relative_rmse(&a, &z), 0.0); // zero reference convention
+    }
+}

@@ -1,0 +1,182 @@
+//! Quantization-error analysis — the Fig. 6 RMSE comparison.
+
+use crate::calibrate::Calibration;
+use crate::quantizer::{quantize_per_channel, quantize_tensor, relative_rmse};
+use mersit_core::Format;
+use mersit_nn::{Ctx, Layer, Model, Tap};
+use mersit_tensor::Tensor;
+
+/// RMSE summary for one (model, format) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmseReport {
+    /// Model name.
+    pub model: String,
+    /// Format name.
+    pub format: String,
+    /// Mean relative RMSE of per-channel-quantized weights.
+    pub weight_rmse: f64,
+    /// Mean relative RMSE of per-layer-quantized activations.
+    pub act_rmse: f64,
+}
+
+impl RmseReport {
+    /// Combined score (mean of the weight and activation components).
+    #[must_use]
+    pub fn combined(&self) -> f64 {
+        0.5 * (self.weight_rmse + self.act_rmse)
+    }
+}
+
+/// Mean relative RMSE across all rank-≥2 weight tensors, quantized per
+/// output channel.
+#[must_use]
+pub fn weight_rmse(model: &mut Model, fmt: &dyn Format) -> f64 {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    model.net.visit_params("", &mut |_, p| {
+        if p.value.shape().len() >= 2 {
+            let q = quantize_per_channel(fmt, &p.value);
+            total += relative_rmse(&q, &p.value);
+            count += 1;
+        }
+    });
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+struct RmseTap<'a> {
+    fmt: &'a dyn Format,
+    cal: &'a Calibration,
+    anchor: f64,
+    err_sum: f64,
+    sites: usize,
+}
+
+impl Tap for RmseTap<'_> {
+    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+        let m = self.cal.max_for(path);
+        if m <= 0.0 {
+            return t;
+        }
+        let s = f64::from(m) / self.anchor;
+        let q = quantize_tensor(self.fmt, &t, s);
+        self.err_sum += relative_rmse(&q, &t);
+        self.sites += 1;
+        q
+    }
+}
+
+/// Mean relative RMSE of activations quantized per layer with calibrated
+/// scales, measured over an evaluation batch. Quantized activations
+/// propagate downstream (as in real quantized inference); each site's
+/// error is measured against its local input.
+#[must_use]
+pub fn activation_rmse(
+    model: &mut Model,
+    cal: &Calibration,
+    fmt: &dyn Format,
+    inputs: &Tensor,
+    batch: usize,
+) -> f64 {
+    let n = inputs.shape()[0];
+    let mut err = 0.0f64;
+    let mut sites = 0usize;
+    let mut i = 0;
+    while i < n {
+        let hi = (i + batch).min(n);
+        let x = inputs.slice_outer(i, hi);
+        let mut tap = RmseTap {
+            fmt,
+            cal,
+            anchor: crate::quantizer::scale_anchor(fmt),
+            err_sum: 0.0,
+            sites: 0,
+        };
+        let mut ctx = Ctx::with_tap(&mut tap);
+        let _ = model.net.forward(x, &mut ctx);
+        err += tap.err_sum;
+        sites += tap.sites;
+        i = hi;
+    }
+    if sites == 0 {
+        0.0
+    } else {
+        err / sites as f64
+    }
+}
+
+/// Builds the full report for one (model, format) pair.
+#[must_use]
+pub fn rmse_report(
+    model: &mut Model,
+    cal: &Calibration,
+    fmt: &dyn Format,
+    inputs: &Tensor,
+    batch: usize,
+) -> RmseReport {
+    RmseReport {
+        model: model.name.clone(),
+        format: fmt.name(),
+        weight_rmse: weight_rmse(model, fmt),
+        act_rmse: activation_rmse(model, cal, fmt, inputs, batch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::calibrate;
+    use mersit_core::parse_format;
+    use mersit_nn::models::vgg_t;
+    use mersit_tensor::Rng;
+
+    #[test]
+    fn weight_rmse_orders_formats_by_precision() {
+        let mut rng = Rng::new(1);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let hi = weight_rmse(&mut model, parse_format("MERSIT(8,2)").unwrap().as_ref());
+        let lo = weight_rmse(&mut model, parse_format("FP(8,5)").unwrap().as_ref());
+        assert!(hi > 0.0 && hi < 0.1, "MERSIT weight rmse {hi}");
+        assert!(lo > hi, "FP(8,5) {lo} should exceed MERSIT {hi}");
+    }
+
+    #[test]
+    fn activation_rmse_positive_and_format_dependent() {
+        let mut rng = Rng::new(2);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let x = Tensor::randn(&[8, 3, 12, 12], 1.0, &mut rng);
+        let cal = calibrate(&mut model, &x, 4);
+        let m = activation_rmse(
+            &mut model,
+            &cal,
+            parse_format("MERSIT(8,2)").unwrap().as_ref(),
+            &x,
+            4,
+        );
+        let f5 = activation_rmse(
+            &mut model,
+            &cal,
+            parse_format("FP(8,5)").unwrap().as_ref(),
+            &x,
+            4,
+        );
+        assert!(m > 0.0);
+        assert!(f5 > m, "FP(8,5) {f5} vs MERSIT {m}");
+    }
+
+    #[test]
+    fn report_combines_components() {
+        let mut rng = Rng::new(3);
+        let mut model = vgg_t(12, 10, &mut rng);
+        let x = Tensor::randn(&[4, 3, 12, 12], 1.0, &mut rng);
+        let cal = calibrate(&mut model, &x, 4);
+        let fmt = parse_format("Posit(8,1)").unwrap();
+        let r = rmse_report(&mut model, &cal, fmt.as_ref(), &x, 4);
+        assert_eq!(r.model, "vgg_t");
+        assert_eq!(r.format, "Posit(8,1)");
+        assert!((r.combined() - 0.5 * (r.weight_rmse + r.act_rmse)).abs() < 1e-12);
+    }
+}

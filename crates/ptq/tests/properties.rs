@@ -1,0 +1,102 @@
+//! Property-based invariants of the PTQ quantizers.
+
+use mersit_core::table2_formats;
+use mersit_ptq::{
+    quantize_adaptivfloat, quantize_bfp, quantize_per_channel, quantize_tensor, relative_rmse,
+    scale_anchor, scale_for,
+};
+use mersit_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, n..=n)
+        .prop_map(move |v| Tensor::from_vec(v, &[n]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fake-quantization is idempotent for every format.
+    #[test]
+    fn quantize_tensor_idempotent(t in tensor_strategy(64)) {
+        for fmt in table2_formats() {
+            let s = scale_for(fmt.as_ref(), t.max_abs());
+            let q1 = quantize_tensor(fmt.as_ref(), &t, s);
+            let q2 = quantize_tensor(fmt.as_ref(), &q1, s);
+            prop_assert_eq!(q1.data(), q2.data(), "{}", fmt.name());
+        }
+    }
+
+    /// Per-channel quantization never does worse than per-tensor on the
+    /// same weight matrix (per-channel scales are a refinement).
+    #[test]
+    fn per_channel_no_worse_than_per_tensor(
+        a in prop::collection::vec(-1.0f32..1.0, 32),
+        chan_scale in 1.0f32..1000.0,
+    ) {
+        // Two channels with very different magnitudes.
+        let mut data = a.clone();
+        data.extend(a.iter().map(|&v| v * chan_scale));
+        let t = Tensor::from_vec(data, &[2, 32]);
+        for fmt in table2_formats() {
+            let pc = quantize_per_channel(fmt.as_ref(), &t);
+            let s = scale_for(fmt.as_ref(), t.max_abs());
+            let pt = quantize_tensor(fmt.as_ref(), &t, s);
+            let e_pc = relative_rmse(&pc, &t);
+            let e_pt = relative_rmse(&pt, &t);
+            // Allow float-accumulation noise and grid-alignment slack.
+            prop_assert!(
+                e_pc <= e_pt * 1.02 + 1e-9,
+                "{}: per-channel {} vs per-tensor {}",
+                fmt.name(), e_pc, e_pt
+            );
+        }
+    }
+
+    /// Quantization error is bounded by half the worst in-range step:
+    /// every element within the calibrated range moves by at most
+    /// max(|x|, anchor·2^(e_min)) × 2^-1 ... conservatively, by at most
+    /// 25% of its own magnitude for any format with ≥ 2 fraction bits
+    /// somewhere (sanity envelope, not a tight bound).
+    #[test]
+    fn quantization_error_enveloped(t in tensor_strategy(64)) {
+        for name in ["FP(8,3)", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"] {
+            let fmt = mersit_core::parse_format(name).unwrap();
+            let s = scale_for(fmt.as_ref(), t.max_abs());
+            let q = quantize_tensor(fmt.as_ref(), &t, s);
+            for (&x, &y) in t.data().iter().zip(q.data()) {
+                prop_assert!(
+                    (y - x).abs() <= x.abs() * 0.26 + (s * scale_anchor(fmt.as_ref())) as f32 * 1e-3,
+                    "{}: {} -> {}", name, x, y
+                );
+            }
+        }
+    }
+
+    /// AdaptivFloat and BFP are idempotent too.
+    #[test]
+    fn alt_quantizers_idempotent(t in tensor_strategy(64)) {
+        let a1 = quantize_adaptivfloat(&t, 4, 3);
+        let a2 = quantize_adaptivfloat(&a1, 4, 3);
+        prop_assert_eq!(a1.data(), a2.data());
+        let b1 = quantize_bfp(&t, 7, 16);
+        let b2 = quantize_bfp(&b1, 7, 16);
+        prop_assert_eq!(b1.data(), b2.data());
+    }
+
+    /// Quantizers preserve sign and zero.
+    #[test]
+    fn quantizers_preserve_sign(t in tensor_strategy(64)) {
+        for fmt in table2_formats() {
+            let s = scale_for(fmt.as_ref(), t.max_abs());
+            let q = quantize_tensor(fmt.as_ref(), &t, s);
+            for (&x, &y) in t.data().iter().zip(q.data()) {
+                if x == 0.0 {
+                    prop_assert_eq!(y, 0.0, "{}", fmt.name());
+                } else if y != 0.0 {
+                    prop_assert_eq!(x.signum(), y.signum(), "{}: {} -> {}", fmt.name(), x, y);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Format explorer: print the decoding table, precision staircase and key
+//! properties of any format from the command line.
+//!
+//! Run with: `cargo run --example format_explorer -- "MERSIT(8,2)"`
+//! (defaults to MERSIT(8,2); also accepts `"Posit(8,1)"`, `"FP(8,4)"`,
+//! `"INT8"`, or any other valid configuration).
+
+use mersit_core::{
+    code_dump, parse_format, render_mersit_table, MacParams, Mersit, PrecisionProfile, ValueClass,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MERSIT(8,2)".to_owned());
+    let fmt = parse_format(&name)?;
+    println!("=== {} ===\n", fmt.name());
+
+    // Key properties.
+    println!("bits            : {}", fmt.bits());
+    println!("max finite      : {}", fmt.max_finite());
+    println!("min positive    : {}", fmt.min_positive());
+    println!("max frac bits   : {}", fmt.max_frac_bits());
+    println!("underflow       : {:?}", fmt.underflow_policy());
+    if fmt.name() != "INT8" {
+        println!("MAC parameters  : {}", MacParams::of(fmt.as_ref()));
+    }
+
+    // Precision staircase.
+    let p = PrecisionProfile::of(fmt.as_ref());
+    println!(
+        "\nprecision staircase (binades {}..{}; digit = fraction bits):",
+        p.exp_min(),
+        p.exp_max()
+    );
+    println!("  {}", p.ascii_row(p.exp_min(), p.exp_max()));
+
+    // MERSIT gets its full Table-1-style decoding table.
+    if let Ok(m) = name.to_uppercase().strip_prefix("MERSIT(").map_or(
+        Err(()),
+        |args| {
+            let args = args.trim_end_matches(')');
+            let mut it = args.split(',');
+            let b: u32 = it.next().and_then(|s| s.trim().parse().ok()).ok_or(())?;
+            let e: u32 = it.next().and_then(|s| s.trim().parse().ok()).ok_or(())?;
+            Mersit::new(b, e).map_err(|_| ())
+        },
+    ) {
+        println!("\n{}", render_mersit_table(&m));
+    }
+
+    // Code-space census.
+    let dump = code_dump(fmt.as_ref());
+    let count = |c: ValueClass| dump.iter().filter(|r| r.class == c).count();
+    println!("code space: {} finite, {} zero, {} inf, {} nan",
+        count(ValueClass::Finite),
+        count(ValueClass::Zero),
+        count(ValueClass::Infinite),
+        count(ValueClass::Nan)
+    );
+
+    // The positive lattice around 1.0.
+    println!("\nrepresentable magnitudes around 1.0:");
+    let mut vals: Vec<f64> = dump
+        .iter()
+        .filter(|r| r.class == ValueClass::Finite && r.value > 0.0)
+        .map(|r| r.value)
+        .collect();
+    vals.sort_by(f64::total_cmp);
+    let pos = vals.partition_point(|&v| v < 1.0);
+    let lo = pos.saturating_sub(3);
+    let hi = (pos + 3).min(vals.len());
+    for v in &vals[lo..hi] {
+        println!("  {v}");
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: encode, decode and quantize values with MERSIT and the
+//! comparison formats, and inspect the MAC sizing parameters.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mersit_core::{Format, Fp8, MacParams, Mersit, Posit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build the three formats of the paper's hardware study.
+    let mersit = Mersit::new(8, 2)?;
+    let posit = Posit::new(8, 1)?;
+    let fp8 = Fp8::new(4)?;
+
+    // Encode a real number to 8 bits and decode it back.
+    let x = 1.37_f64;
+    for fmt in [&mersit as &dyn Format, &posit, &fp8] {
+        let code = fmt.encode(x);
+        let back = fmt.decode(code);
+        println!(
+            "{:<12} encode({x}) = {code:#010b} -> {back}   (error {:+.4})",
+            fmt.name(),
+            back - x
+        );
+    }
+
+    // Field-level decoding (what the hardware decoder extracts).
+    let code = mersit.encode(x);
+    let d = mersit.fields(code).expect("finite value");
+    println!(
+        "\nMERSIT fields of {code:#010b}: regime k={}, exp={}, eff={}, sig={:#07b}",
+        d.regime.expect("mersit has regimes"),
+        d.exp_raw,
+        d.exp_eff,
+        d.sig
+    );
+
+    // Quantize a small vector through each format.
+    let data = [0.02, -0.4, 1.9, 3.1, -0.007];
+    println!("\nquantized vectors:");
+    for fmt in [&mersit as &dyn Format, &posit, &fp8] {
+        let q: Vec<f64> = data.iter().map(|&v| fmt.quantize(v)).collect();
+        println!("  {:<12} {q:.4?}", fmt.name());
+    }
+
+    // The Fig. 2 MAC sizing parameters.
+    println!("\nMAC parameters (Fig. 2):");
+    for fmt in [&fp8 as &dyn Format, &posit, &mersit] {
+        println!("  {:<12} {}", fmt.name(), MacParams::of(fmt));
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # mersit-repro — facade crate for the MERSIT reproduction workspace
+//!
+//! Re-exports the member crates under one roof for the examples and
+//! integration tests:
+//!
+//! * [`mersit_core`] (as `core`) — bit-exact formats (MERSIT, Posit, FP8, INT8);
+//! * [`mersit_netlist`] (as `netlist`) — gate-level EDA substrate;
+//! * [`mersit_hw`] (as `hw`) — decoders, multipliers and Kulisch MACs;
+//! * [`mersit_tensor`] / [`mersit_nn`] — tensor math, layers,
+//!   training, the miniature model zoo and synthetic datasets;
+//! * [`mersit_ptq`] — calibration, fake-quantization, accuracy and
+//!   RMSE harnesses.
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
+//! for the per-table/figure regenerators.
+
+pub use mersit_core as core;
+pub use mersit_hw as hw;
+pub use mersit_netlist as netlist;
+pub use mersit_nn as nn;
+pub use mersit_ptq as ptq;
+pub use mersit_tensor as tensor;
