@@ -8,22 +8,18 @@ use std::hint::black_box;
 fn bench_decode(c: &mut Criterion) {
     let mut g = c.benchmark_group("decode_all_codes");
     for fmt in table2_formats() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(fmt.name()),
-            &fmt,
-            |b, fmt| {
-                b.iter(|| {
-                    let mut acc = 0.0f64;
-                    for code in 0..256u16 {
-                        let v = fmt.decode(black_box(code));
-                        if v.is_finite() {
-                            acc += v;
-                        }
+        g.bench_with_input(BenchmarkId::from_parameter(fmt.name()), &fmt, |b, fmt| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for code in 0..256u16 {
+                    let v = fmt.decode(black_box(code));
+                    if v.is_finite() {
+                        acc += v;
                     }
-                    acc
-                });
-            },
-        );
+                }
+                acc
+            });
+        });
     }
     g.finish();
 }
@@ -38,19 +34,15 @@ fn bench_encode(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("encode_1k_values");
     for fmt in table2_formats() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(fmt.name()),
-            &fmt,
-            |b, fmt| {
-                b.iter(|| {
-                    let mut acc = 0u32;
-                    for &v in &values {
-                        acc = acc.wrapping_add(u32::from(fmt.encode(black_box(v))));
-                    }
-                    acc
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(fmt.name()), &fmt, |b, fmt| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &v in &values {
+                    acc = acc.wrapping_add(u32::from(fmt.encode(black_box(v))));
+                }
+                acc
+            });
+        });
     }
     g.finish();
 }
@@ -73,5 +65,10 @@ fn bench_quantize_round_trip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_decode, bench_encode, bench_quantize_round_trip);
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_encode,
+    bench_quantize_round_trip
+);
 criterion_main!(benches);

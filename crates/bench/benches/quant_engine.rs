@@ -1,0 +1,74 @@
+//! Criterion benches for the batched quantization engine: scalar
+//! `Format::quantize` loop vs the `QuantLut` codec vs the threaded
+//! slice path, on PTQ-sized activation buffers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mersit_core::{quantize_slice_scalar, table2_formats, QuantLut};
+use mersit_tensor::par;
+use std::hint::black_box;
+
+const N: usize = 1 << 18; // 256k elements per iteration
+
+/// Deterministic Gaussian-ish activation buffer (sum of uniforms).
+fn workload(n: usize) -> Vec<f32> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        (state >> 33) as f32 / f32::from_bits(0x4f00_0000) // [0, 1)
+    };
+    (0..n)
+        .map(|_| (next() + next() + next() + next()) * 2.0 - 4.0)
+        .collect()
+}
+
+fn bench_quantize_slice(c: &mut Criterion) {
+    let src = workload(N);
+    let mut g = c.benchmark_group("quantize_slice_256k");
+    g.throughput(Throughput::Elements(N as u64));
+    for fmt in table2_formats() {
+        let scale = 0.037; // typical activation scale, exercises ties
+        let spec = fmt.quant_spec();
+        g.bench_with_input(BenchmarkId::new("scalar", fmt.name()), &fmt, |b, fmt| {
+            let mut buf = src.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&src);
+                quantize_slice_scalar(fmt.as_ref(), black_box(&mut buf), scale);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lut", fmt.name()), &fmt, |b, _| {
+            let lut = QuantLut::build(&spec, scale).expect("supported scale");
+            let mut buf = src.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&src);
+                lut.apply(black_box(&mut buf));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("lut_threads", fmt.name()), &fmt, |b, _| {
+            let lut = QuantLut::build(&spec, scale).expect("supported scale");
+            let mut buf = src.clone();
+            b.iter(|| {
+                buf.copy_from_slice(&src);
+                par::par_chunks_mut(black_box(&mut buf), 1, par::min_units(8), |_, chunk| {
+                    lut.apply(chunk);
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lut_build");
+    for fmt in table2_formats() {
+        let spec = fmt.quant_spec();
+        g.bench_with_input(BenchmarkId::from_parameter(fmt.name()), &fmt, |b, _| {
+            b.iter(|| QuantLut::build(black_box(&spec), black_box(0.037)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quantize_slice, bench_lut_build);
+criterion_main!(benches);

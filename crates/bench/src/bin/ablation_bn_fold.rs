@@ -22,16 +22,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n_train, epochs) = if quick { (600, 4) } else { (1500, 6) };
     let ds = synthetic_images(0xB17F, n_train, 300, 10);
-    let formats: Vec<FormatRef> = [
-        "INT8",
-        "FP(8,4)",
-        "FP(8,5)",
-        "Posit(8,1)",
-        "MERSIT(8,2)",
-    ]
-    .iter()
-    .map(|n| parse_format(n).expect("valid"))
-    .collect();
+    let formats: Vec<FormatRef> = ["INT8", "FP(8,4)", "FP(8,5)", "Posit(8,1)", "MERSIT(8,2)"]
+        .iter()
+        .map(|n| parse_format(n).expect("valid"))
+        .collect();
 
     println!("=== Ablation: batch-norm folding before PTQ ===\n");
     let builders: [(&str, fn(usize, usize, &mut Rng) -> Model); 2] = [
@@ -53,18 +47,18 @@ fn main() {
         model.net.fold_bn();
         let (folded, _) = evaluate_model(&mut model, &ds, &formats, Metric::Accuracy, 50);
 
-        println!("{name}  (fp32: plain {:.1}%, folded {:.1}%)", plain.fp32, folded.fp32);
-        println!("  {:<14} {:>8} {:>8} {:>8}", "format", "plain", "folded", "delta");
+        println!(
+            "{name}  (fp32: plain {:.1}%, folded {:.1}%)",
+            plain.fp32, folded.fp32
+        );
+        println!(
+            "  {:<14} {:>8} {:>8} {:>8}",
+            "format", "plain", "folded", "delta"
+        );
         for f in &formats {
             let p = plain.score_of(&f.name()).expect("scored");
             let q = folded.score_of(&f.name()).expect("scored");
-            println!(
-                "  {:<14} {:>8.1} {:>8.1} {:>+8.1}",
-                f.name(),
-                p,
-                q,
-                q - p
-            );
+            println!("  {:<14} {:>8.1} {:>8.1} {:>+8.1}", f.name(), p, q, q - p);
         }
         println!();
     }

@@ -18,7 +18,13 @@ fn main() {
           mc.decoder.area_um2, mc.decoder.power_uw, mc.exp_adder.area_um2, mc.exp_adder.power_uw,
           mc.frac_mul.area_um2, mc.frac_mul.power_uw, mc.total.area_um2, mc.total.power_uw);
         let kc = mac_cost(dec.as_ref(), &s, 64);
-        println!("{name:12} MAC total {:7.1}um2 {:6.2}uW  (mult {:6.1}, align {:6.1}, acc {:6.1})",
-          kc.total.area_um2, kc.total.power_uw, kc.multiplier.area_um2, kc.aligner.area_um2, kc.accumulator.area_um2);
+        println!(
+            "{name:12} MAC total {:7.1}um2 {:6.2}uW  (mult {:6.1}, align {:6.1}, acc {:6.1})",
+            kc.total.area_um2,
+            kc.total.power_uw,
+            kc.multiplier.area_um2,
+            kc.aligner.area_um2,
+            kc.accumulator.area_um2
+        );
     }
 }

@@ -40,8 +40,8 @@ fn main() {
             .map(mersit_nn::LayerStats::range_demand_bits)
             .sum::<f64>()
             / p.layers.len() as f64;
-        let mean_out = p.layers.iter().map(|l| l.outlier_ratio).sum::<f64>()
-            / p.layers.len() as f64;
+        let mean_out =
+            p.layers.iter().map(|l| l.outlier_ratio).sum::<f64>() / p.layers.len() as f64;
         println!(
             "{:<20} {:>9} {:>9} {:>12.2} {:>12.2} {:>12.3}",
             p.model,

@@ -46,11 +46,20 @@ fn show_posit(es: u32, code: u16) {
 
 fn main() {
     println!("=== Fig. 1a: FP8 structure (sign | exponent | fraction) ===\n");
-    for (e, code) in [(4u32, 0b0_0111_100u16), (4, 0b1_1010_011), (3, 0b0_011_1010)] {
+    for (e, code) in [
+        (4u32, 0b0_0111_100u16),
+        (4, 0b1_1010_011),
+        (3, 0b0_011_1010),
+    ] {
         show_fp8(e, code);
     }
     println!("=== Fig. 1b: Posit8 structure (sign | regime | exp | fraction) ===\n");
-    for code in [0b0_10_0_1000u16, 0b0_110_1_010, 0b0_0001_1_01, 0b1_10_1_0000] {
+    for code in [
+        0b0_10_0_1000u16,
+        0b0_110_1_010,
+        0b0_0001_1_01,
+        0b1_10_1_0000,
+    ] {
         show_posit(1, code);
     }
 }

@@ -20,10 +20,7 @@ fn walkthrough(m: &Mersit, code: u16) {
     for g in 0..m.groups() as usize {
         let ec = &body[g * es..(g + 1) * es];
         let all_ones = ec.chars().all(|c| c == '1');
-        println!(
-            "  EC{g} = {ec}  AND = {}",
-            if all_ones { 1 } else { 0 }
-        );
+        println!("  EC{g} = {ec}  AND = {}", if all_ones { 1 } else { 0 });
     }
     match m.classify(code) {
         ValueClass::Zero => println!("  every EC is all-ones, ks=0  =>  zero\n"),
@@ -35,10 +32,7 @@ fn walkthrough(m: &Mersit, code: u16) {
                 d.regime.expect("mersit has regimes"),
                 d.exp_raw
             );
-            println!(
-                "  effective exponent = (2^es-1)*k + exp = {}",
-                d.exp_eff
-            );
+            println!("  effective exponent = (2^es-1)*k + exp = {}", d.exp_eff);
             println!(
                 "  fraction = {:0w$b} ({} bits)  =>  value = {}\n",
                 d.frac,

@@ -16,8 +16,16 @@ fn main() {
         .iter()
         .map(|f| PrecisionProfile::of(f.as_ref()))
         .collect();
-    let lo = profiles.iter().map(PrecisionProfile::exp_min).min().expect("profiles");
-    let hi = profiles.iter().map(PrecisionProfile::exp_max).max().expect("profiles");
+    let lo = profiles
+        .iter()
+        .map(PrecisionProfile::exp_min)
+        .min()
+        .expect("profiles");
+    let hi = profiles
+        .iter()
+        .map(PrecisionProfile::exp_max)
+        .max()
+        .expect("profiles");
 
     println!("=== Fig. 4: range and precision of 8-bit data formats ===");
     println!("(columns: binade exponent {lo}..{hi}; digit = effective fraction bits)\n");

@@ -25,7 +25,11 @@ fn main() {
     nl.output("idx", &fz.index);
     nl.output("none", &Bus(vec![fz.none]));
     let a = AreaReport::of(&nl);
-    println!("3-bit LZD unit: {} cells, {:.2} um^2", nl.gates().len(), a.total_um2);
+    println!(
+        "3-bit LZD unit: {} cells, {:.2} um^2",
+        nl.gates().len(),
+        a.total_um2
+    );
     for (cell, n) in &a.by_cell {
         println!("    {cell}: {n}");
     }
@@ -36,7 +40,11 @@ fn main() {
     let r = k_times_scale(&mut nl, &k, 2, 5);
     nl.output("r", &r);
     let a = AreaReport::of(&nl);
-    println!("\nk x (2^es - 1) unit (es=2): {} cells, {:.2} um^2", nl.gates().len(), a.total_um2);
+    println!(
+        "\nk x (2^es - 1) unit (es=2): {} cells, {:.2} um^2",
+        nl.gates().len(),
+        a.total_um2
+    );
     for (cell, n) in &a.by_cell {
         println!("    {cell}: {n}");
     }
@@ -79,6 +87,9 @@ fn main() {
     let v = to_verilog(&nl);
     let path = "target/mersit82_decoder.v";
     if std::fs::write(path, &v).is_ok() {
-        println!("\nstructural Verilog written to {path} ({} lines)", v.lines().count());
+        println!(
+            "\nstructural Verilog written to {path} ({} lines)",
+            v.lines().count()
+        );
     }
 }

@@ -58,11 +58,7 @@ fn main() {
         "Model", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"
     );
     mersit_bench::hr(60);
-    for (kind, pick) in [
-        ("weights", 0usize),
-        ("activations", 1),
-        ("combined", 2),
-    ] {
+    for (kind, pick) in [("weights", 0usize), ("activations", 1), ("combined", 2)] {
         println!("[{kind}]");
         for (name, _) in builders {
             let vals: Vec<f64> = formats

@@ -12,9 +12,7 @@
 
 use mersit_core::parse_format;
 use mersit_nn::models::{efficientnet_b0_t, vgg_t, Model};
-use mersit_nn::{
-    predict, synthetic_images, train_classifier, Ctx, Layer, Tap, TrainConfig,
-};
+use mersit_nn::{predict, synthetic_images, train_classifier, Ctx, Layer, Tap, TrainConfig};
 use mersit_ptq::{
     calibrate, evaluate_format, quantize_adaptivfloat, quantize_bfp, Metric, WeightSnapshot,
 };
@@ -53,8 +51,7 @@ fn quantize_weights_alt(model: &mut Model, alt: Alt) {
                             &[inner],
                         );
                         let q = quantize_adaptivfloat(&slice, 4, 3);
-                        out.data_mut()[c * inner..(c + 1) * inner]
-                            .copy_from_slice(q.data());
+                        out.data_mut()[c * inner..(c + 1) * inner].copy_from_slice(q.data());
                     }
                     out
                 }
@@ -127,7 +124,12 @@ fn main() {
             let preds = evaluate_format(&mut model, fmt.as_ref(), &cal, &ds.test.inputs, 50);
             Metric::Accuracy.score(&preds, &ds.test.labels)
         };
-        let af = eval_alt(&mut model, Alt::AdaptivFloat, &ds.test.inputs, &ds.test.labels);
+        let af = eval_alt(
+            &mut model,
+            Alt::AdaptivFloat,
+            &ds.test.inputs,
+            &ds.test.labels,
+        );
         let bfp = eval_alt(&mut model, Alt::Bfp, &ds.test.inputs, &ds.test.labels);
         println!("{name:<20} {fp32:>7.1} {fp84:>9.1} {af:>13.1} {bfp:>9.1}");
     }

@@ -1,0 +1,127 @@
+//! Throughput trajectory of the batched quantization engine.
+//!
+//! Fake-quantizes a ≥1M-element activation buffer through every Table 2
+//! format along three paths — the scalar `Format::quantize` loop, the
+//! single-threaded `QuantLut` codec, and the LUT with thread fan-out —
+//! and writes the elements/sec results to `BENCH_ptq.json` so future
+//! optimizations have a baseline to beat.
+//!
+//! Usage: `perf_ptq [n_elements]` (default 2^21 ≈ 2.1M).
+
+use mersit_core::{quantize_slice_scalar, table2_formats, Format, QuantLut};
+use mersit_tensor::par;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Deterministic Gaussian-ish activation buffer (sum of four uniforms).
+fn workload(n: usize) -> Vec<f32> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        (state >> 33) as f32 / f32::from_bits(0x4f00_0000) // [0, 1)
+    };
+    (0..n)
+        .map(|_| (next() + next() + next() + next()) * 2.0 - 4.0)
+        .collect()
+}
+
+/// Times `f` over the buffer, re-seeding it from `src` each repetition,
+/// and returns the best elements/sec over `reps` runs (best-of to shave
+/// scheduler noise; the buffer reseed is excluded by timing only `f`).
+fn best_rate(src: &[f32], reps: usize, mut f: impl FnMut(&mut [f32])) -> f64 {
+    let mut buf = src.to_vec();
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        buf.copy_from_slice(src);
+        let t0 = Instant::now();
+        f(black_box(&mut buf));
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.max(src.len() as f64 / dt);
+    }
+    black_box(&buf);
+    best
+}
+
+struct Row {
+    format: String,
+    scalar: f64,
+    lut: f64,
+    lut_threads: f64,
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 21);
+    assert!(n >= 1 << 20, "need at least 1M elements for a stable read");
+    let threads = par::thread_count();
+    let src = workload(n);
+    let scale = 0.037; // typical activation scale
+    let reps = 3;
+
+    println!("perf_ptq: {n} elements, {threads} threads, scale {scale}");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>8} {:>10}",
+        "format", "scalar el/s", "lut el/s", "lut+thr el/s", "lut x", "thr x"
+    );
+
+    let mut rows = Vec::new();
+    for fmt in table2_formats() {
+        let fmt: &dyn Format = fmt.as_ref();
+        let spec = fmt.quant_spec();
+        let lut = QuantLut::build(&spec, scale).expect("supported scale");
+        let scalar = best_rate(&src, reps, |buf| {
+            quantize_slice_scalar(fmt, buf, scale);
+        });
+        let lut_rate = best_rate(&src, reps, |buf| lut.apply(buf));
+        let thr_rate = best_rate(&src, reps, |buf| {
+            par::par_chunks_mut(buf, 1, par::min_units(8), |_, chunk| lut.apply(chunk));
+        });
+        println!(
+            "{:<14} {:>14.3e} {:>14.3e} {:>14.3e} {:>7.1}x {:>9.1}x",
+            fmt.name(),
+            scalar,
+            lut_rate,
+            thr_rate,
+            lut_rate / scalar,
+            thr_rate / scalar
+        );
+        rows.push(Row {
+            format: fmt.name(),
+            scalar,
+            lut: lut_rate,
+            lut_threads: thr_rate,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"elements\": {n},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    json.push_str("  \"formats\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"format\": \"{}\", \"scalar_elems_per_sec\": {:.4e}, \
+             \"lut_elems_per_sec\": {:.4e}, \"lut_threads_elems_per_sec\": {:.4e}, \
+             \"lut_speedup\": {:.2}, \"threads_speedup\": {:.2}}}",
+            r.format,
+            r.scalar,
+            r.lut,
+            r.lut_threads,
+            r.lut / r.scalar,
+            r.lut_threads / r.scalar
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_ptq.json", &json).expect("write BENCH_ptq.json");
+    println!("wrote BENCH_ptq.json");
+
+    let best = rows.iter().map(|r| r.lut / r.scalar).fold(0.0f64, f64::max);
+    println!("best single-threaded LUT speedup: {best:.1}x");
+}

@@ -27,7 +27,10 @@ fn main() {
         .collect();
 
     println!("=== Table 3: Multiplier Breakdown Analysis ===\n");
-    println!("{:<22} {:>12} {:>12} {:>12}", "", names[0], names[1], names[2]);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "", names[0], names[1], names[2]
+    );
     mersit_bench::hr(62);
     println!("{:<22} {:>12} {:>12} {:>12}", "Area (um^2)", "", "", "");
     let area = |f: fn(&MultiplierBreakdown) -> f64| -> Vec<String> {
@@ -60,13 +63,8 @@ fn main() {
         );
     }
 
-    let dec_saving =
-        100.0 * (1.0 - rows[2].decoder.area_um2 / rows[1].decoder.area_um2);
+    let dec_saving = 100.0 * (1.0 - rows[2].decoder.area_um2 / rows[1].decoder.area_um2);
     println!();
-    println!(
-        "MERSIT(8,2) decoder saves {dec_saving:.1}% area vs Posit(8,1)  (paper: 59.2%)"
-    );
-    println!(
-        "Paper Table 3 (um^2): decoder 434/830/338, exp-adder 46/54/54, frac-mul 128/216/216"
-    );
+    println!("MERSIT(8,2) decoder saves {dec_saving:.1}% area vs Posit(8,1)  (paper: 59.2%)");
+    println!("Paper Table 3 (um^2): decoder 434/830/338, exp-adder 46/54/54, frac-mul 128/216/216");
 }

@@ -27,9 +27,7 @@
 
 use mersit_core::Format;
 use mersit_nn::models::vgg_t;
-use mersit_nn::{
-    synthetic_images, train_classifier, Ctx, Dataset, Layer, Model, Tap, TrainConfig,
-};
+use mersit_nn::{synthetic_images, train_classifier, Ctx, Dataset, Layer, Model, Tap, TrainConfig};
 use mersit_tensor::{Rng, Tensor};
 
 /// Weight and activation value pools sampled from a trained model —
@@ -94,7 +92,9 @@ pub fn trained_dnn_operands(seed: u64, pool: usize) -> DnnOperands {
     };
     {
         let mut ctx = Ctx::with_tap(&mut tap);
-        let _ = model.net.forward(ds.test.inputs.slice_outer(0, 32), &mut ctx);
+        let _ = model
+            .net
+            .forward(ds.test.inputs.slice_outer(0, 32), &mut ctx);
     }
     DnnOperands {
         weights,
@@ -150,6 +150,10 @@ mod tests {
         let s = ops.encode_scaled(fmt.as_ref(), 200);
         assert_eq!(s.len(), 200);
         let distinct: std::collections::BTreeSet<u16> = s.iter().map(|&(w, _)| w).collect();
-        assert!(distinct.len() > 20, "only {} distinct codes", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct codes",
+            distinct.len()
+        );
     }
 }

@@ -44,9 +44,6 @@ mod tests {
     #[test]
     fn display_includes_message() {
         let e = InvalidFormatError::new("es too large");
-        assert_eq!(
-            e.to_string(),
-            "invalid format configuration: es too large"
-        );
+        assert_eq!(e.to_string(), "invalid format configuration: es too large");
     }
 }

@@ -84,6 +84,41 @@ pub trait Format: Debug + Send + Sync {
         self.decode(self.encode(x))
     }
 
+    /// Fake-quantizes a slice in place with one scale: every element
+    /// becomes `(self.quantize(f64::from(x) / scale) * scale) as f32`,
+    /// bit-exactly.
+    ///
+    /// The default is the scalar reference loop; the built-in formats
+    /// override it with the batched [`crate::QuantLut`] codec (backed by
+    /// their memoized [`crate::QuantSpec`]), falling back to scalar for
+    /// short slices and degenerate scales.
+    fn quantize_slice(&self, xs: &mut [f32], scale: f64) {
+        crate::quant_lut::quantize_slice_scalar(self, xs, scale);
+    }
+
+    /// The scaling anchor: the largest lattice magnitude inside the
+    /// highest binade still carrying the format's maximal effective
+    /// fraction bits. PTQ maps `max|x|` onto this value.
+    ///
+    /// The built-in formats memoize it; the default recomputes.
+    fn scale_anchor(&self) -> f64 {
+        crate::quant_lut::compute_scale_anchor(self)
+    }
+
+    /// The per-binade precision staircase (Fig. 4 row) of the format.
+    ///
+    /// The built-in formats memoize it; the default recomputes.
+    fn precision_profile(&self) -> Arc<crate::profile::PrecisionProfile> {
+        Arc::new(crate::profile::PrecisionProfile::of(self))
+    }
+
+    /// The scale-independent batched-quantization spec of the format.
+    ///
+    /// The built-in formats memoize it; the default recomputes.
+    fn quant_spec(&self) -> Arc<crate::quant_lut::QuantSpec> {
+        Arc::new(crate::quant_lut::QuantSpec::of(self))
+    }
+
     /// All codes of the format, `0..2^bits()`.
     fn codes(&self) -> std::ops::Range<u32> {
         0..(1u32 << self.bits())

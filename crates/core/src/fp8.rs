@@ -12,6 +12,8 @@
 use crate::error::InvalidFormatError;
 use crate::fields::{exp2i, Decoded, ValueClass};
 use crate::format::{EncodeTable, Format, TieRule, UnderflowPolicy};
+use crate::quant_lut::{quantize_slice_cached, FormatCaches};
+use std::sync::Arc;
 
 /// The FP(N,E) minifloat format. `Fp8::new(E)` gives the paper's FP(8,E).
 ///
@@ -31,6 +33,7 @@ pub struct Fp8 {
     bits: u32,
     exp_bits: u32,
     table: EncodeTable,
+    caches: FormatCaches,
 }
 
 impl Fp8 {
@@ -65,6 +68,7 @@ impl Fp8 {
             bits,
             exp_bits,
             table: EncodeTable::empty(),
+            caches: FormatCaches::new(),
         };
         f.table = EncodeTable::build(&f, TieRule::EvenFraction, UnderflowPolicy::FlushToZero);
         Ok(f)
@@ -222,6 +226,22 @@ impl Format for Fp8 {
 
     fn max_frac_bits(&self) -> u32 {
         self.frac_bits()
+    }
+
+    fn quantize_slice(&self, xs: &mut [f32], scale: f64) {
+        quantize_slice_cached(self, &self.caches, xs, scale);
+    }
+
+    fn scale_anchor(&self) -> f64 {
+        self.caches.anchor(self)
+    }
+
+    fn precision_profile(&self) -> Arc<crate::profile::PrecisionProfile> {
+        self.caches.profile(self)
+    }
+
+    fn quant_spec(&self) -> Arc<crate::quant_lut::QuantSpec> {
+        self.caches.spec(self)
     }
 }
 

@@ -9,6 +9,8 @@
 use crate::error::InvalidFormatError;
 use crate::fields::{Decoded, ValueClass};
 use crate::format::{Format, UnderflowPolicy};
+use crate::quant_lut::{quantize_slice_cached, FormatCaches};
+use std::sync::Arc;
 
 /// Symmetric two's-complement INT8 (integer lattice −127…127).
 ///
@@ -25,14 +27,14 @@ use crate::format::{Format, UnderflowPolicy};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Int8 {
-    _priv: (),
+    caches: FormatCaches,
 }
 
 impl Int8 {
     /// Creates the symmetric INT8 format.
     #[must_use]
     pub fn new() -> Self {
-        Self { _priv: () }
+        Self::default()
     }
 
     /// Creates a general `bits`-wide symmetric integer format is not
@@ -109,6 +111,22 @@ impl Format for Int8 {
 
     fn max_frac_bits(&self) -> u32 {
         0
+    }
+
+    fn quantize_slice(&self, xs: &mut [f32], scale: f64) {
+        quantize_slice_cached(self, &self.caches, xs, scale);
+    }
+
+    fn scale_anchor(&self) -> f64 {
+        self.caches.anchor(self)
+    }
+
+    fn precision_profile(&self) -> Arc<crate::profile::PrecisionProfile> {
+        self.caches.profile(self)
+    }
+
+    fn quant_spec(&self) -> Arc<crate::quant_lut::QuantSpec> {
+        self.caches.spec(self)
     }
 }
 

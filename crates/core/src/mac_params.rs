@@ -78,13 +78,7 @@ impl fmt::Display for MacParams {
         write!(
             f,
             "range 2^{}..2^{}  P={}  M={}  W=2x({}+{})+1={} bits",
-            self.e_min,
-            self.e_max,
-            self.p,
-            self.m,
-            -self.e_min,
-            self.e_max,
-            self.w
+            self.e_min, self.e_max, self.p, self.m, -self.e_min, self.e_max, self.w
         )
     }
 }

@@ -23,6 +23,8 @@
 use crate::error::InvalidFormatError;
 use crate::fields::{exp2i, Decoded, ValueClass};
 use crate::format::{EncodeTable, Format, TieRule, UnderflowPolicy};
+use crate::quant_lut::{quantize_slice_cached, FormatCaches};
+use std::sync::Arc;
 
 /// The MERSIT(N,E) format. The paper studies `Mersit::new(8, 2)` and
 /// `Mersit::new(8, 3)`.
@@ -47,6 +49,7 @@ pub struct Mersit {
     es: u32,
     groups: u32,
     table: EncodeTable,
+    caches: FormatCaches,
 }
 
 /// Decoded regime/exponent/fraction of a MERSIT body.
@@ -89,6 +92,7 @@ impl Mersit {
             es,
             groups: body / es,
             table: EncodeTable::empty(),
+            caches: FormatCaches::new(),
         };
         m.table = EncodeTable::build(&m, TieRule::EvenFraction, UnderflowPolicy::SaturateToMinPos);
         Ok(m)
@@ -205,7 +209,11 @@ impl Mersit {
     pub fn pack(&self, sign: bool, k: i32, exp: u32, frac: u32) -> u16 {
         let g = self.group_of(k);
         let ones = (1u32 << self.es) - 1;
-        assert!(exp < ones, "exp {exp} must contain a zero bit (es={})", self.es);
+        assert!(
+            exp < ones,
+            "exp {exp} must contain a zero bit (es={})",
+            self.es
+        );
         let fb = (self.groups - 1 - g) * self.es;
         if fb == 0 {
             assert_eq!(frac, 0, "regime {k} has no fraction bits");
@@ -336,6 +344,22 @@ impl Format for Mersit {
     fn max_frac_bits(&self) -> u32 {
         (self.groups - 1) * self.es
     }
+
+    fn quantize_slice(&self, xs: &mut [f32], scale: f64) {
+        quantize_slice_cached(self, &self.caches, xs, scale);
+    }
+
+    fn scale_anchor(&self) -> f64 {
+        self.caches.anchor(self)
+    }
+
+    fn precision_profile(&self) -> Arc<crate::profile::PrecisionProfile> {
+        self.caches.profile(self)
+    }
+
+    fn quant_spec(&self) -> Arc<crate::quant_lut::QuantSpec> {
+        self.caches.spec(self)
+    }
 }
 
 #[cfg(test)]
@@ -394,9 +418,9 @@ mod tests {
         ];
         for &(pattern, k, exp, eff, fb) in rows {
             let code = pattern as u16; // sign = 0
-            let d = m.fields(code).unwrap_or_else(|| {
-                panic!("pattern {pattern:07b} should be finite")
-            });
+            let d = m
+                .fields(code)
+                .unwrap_or_else(|| panic!("pattern {pattern:07b} should be finite"));
             assert_eq!(d.regime, Some(k), "pattern {pattern:07b}");
             assert_eq!(d.exp_raw, exp, "pattern {pattern:07b}");
             assert_eq!(d.exp_eff, eff, "pattern {pattern:07b}");
@@ -460,7 +484,10 @@ mod tests {
         // negative: sign bit set
         assert_eq!(m.decode(0b1_1_00_1010), -1.625);
         // 0 0 00 0001: k=−1, exp=0, frac=0001 → 2^-3 × (1+1/16)
-        assert_eq!(m.decode(0b0_0_00_0001), 2.0_f64.powi(-3) * (1.0 + 1.0 / 16.0));
+        assert_eq!(
+            m.decode(0b0_0_00_0001),
+            2.0_f64.powi(-3) * (1.0 + 1.0 / 16.0)
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@
 use crate::error::InvalidFormatError;
 use crate::fields::{exp2i, Decoded, ValueClass};
 use crate::format::{EncodeTable, Format, TieRule, UnderflowPolicy};
+use crate::quant_lut::{quantize_slice_cached, FormatCaches};
+use std::sync::Arc;
 
 /// Encoding flavor of [`Posit`]; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -47,6 +49,7 @@ pub struct Posit {
     es: u32,
     flavor: PositFlavor,
     table: EncodeTable,
+    caches: FormatCaches,
 }
 
 /// Result of decoding the magnitude body of a posit word.
@@ -102,6 +105,7 @@ impl Posit {
             es,
             flavor,
             table: EncodeTable::empty(),
+            caches: FormatCaches::new(),
         };
         p.table = EncodeTable::build(&p, TieRule::EvenCode, UnderflowPolicy::SaturateToMinPos);
         Ok(p)
@@ -132,7 +136,11 @@ impl Posit {
         let body = match self.flavor {
             PositFlavor::Paper => code & self.body_mask(),
             PositFlavor::Standard => {
-                let mag = if sign { code.wrapping_neg() & mask } else { code };
+                let mag = if sign {
+                    code.wrapping_neg() & mask
+                } else {
+                    code
+                };
                 mag & self.body_mask()
             }
         };
@@ -156,11 +164,7 @@ impl Posit {
         };
         // Bits after the run and its terminator.
         let rem = nb.saturating_sub(run + 1);
-        let tail = if rem == 0 {
-            0
-        } else {
-            body & ((1 << rem) - 1)
-        };
+        let tail = if rem == 0 { 0 } else { body & ((1 << rem) - 1) };
         let es_avail = self.es.min(rem);
         let frac_bits = rem - es_avail;
         let exp_hi = if es_avail == 0 {
@@ -328,6 +332,22 @@ impl Format for Posit {
         // Shortest regime (run of 1) leaves n−3 tail bits, minus es.
         (self.bits - 3).saturating_sub(self.es)
     }
+
+    fn quantize_slice(&self, xs: &mut [f32], scale: f64) {
+        quantize_slice_cached(self, &self.caches, xs, scale);
+    }
+
+    fn scale_anchor(&self) -> f64 {
+        self.caches.anchor(self)
+    }
+
+    fn precision_profile(&self) -> Arc<crate::profile::PrecisionProfile> {
+        self.caches.profile(self)
+    }
+
+    fn quant_spec(&self) -> Arc<crate::quant_lut::QuantSpec> {
+        self.caches.spec(self)
+    }
 }
 
 #[cfg(test)]
@@ -406,12 +426,7 @@ mod tests {
                         continue;
                     }
                     let v = p.decode(code);
-                    assert_eq!(
-                        p.decode(p.encode(v)),
-                        v,
-                        "{} code {code:#x}",
-                        p.name()
-                    );
+                    assert_eq!(p.decode(p.encode(v)), v, "{} code {code:#x}", p.name());
                 }
             }
         }

@@ -46,7 +46,7 @@ impl PrecisionProfile {
     /// # Ok::<(), mersit_core::InvalidFormatError>(())
     /// ```
     #[must_use]
-    pub fn of(fmt: &dyn Format) -> Self {
+    pub fn of<F: Format + ?Sized>(fmt: &F) -> Self {
         let mut counts: std::collections::BTreeMap<i32, u32> = std::collections::BTreeMap::new();
         for code in fmt.codes() {
             let code = code as u16;
@@ -103,10 +103,7 @@ impl PrecisionProfile {
     /// Width (in binades) of the region offering at least `bits` fraction bits.
     #[must_use]
     pub fn band_width_at(&self, bits: u32) -> u32 {
-        self.binades
-            .iter()
-            .filter(|b| b.frac_bits >= bits)
-            .count() as u32
+        self.binades.iter().filter(|b| b.frac_bits >= bits).count() as u32
     }
 
     /// Renders the profile as an ASCII staircase, one char per binade
@@ -152,10 +149,7 @@ mod tests {
         assert_eq!(p.max_frac_bits(), 4);
         // Center binades have 4 bits, extremes 0.
         assert_eq!(p.binades.iter().find(|b| b.exp == 0).unwrap().frac_bits, 4);
-        assert_eq!(
-            p.binades.iter().find(|b| b.exp == 10).unwrap().frac_bits,
-            0
-        );
+        assert_eq!(p.binades.iter().find(|b| b.exp == 10).unwrap().frac_bits, 0);
     }
 
     #[test]

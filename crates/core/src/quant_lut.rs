@@ -1,0 +1,661 @@
+//! Batched fake-quantization: a per-`(Format, scale)` lookup codec.
+//!
+//! The PTQ pipeline's hot loop is scaled *fake quantization*: every f32
+//! element `x` becomes `(quantize(x / scale) * scale) as f32`. The scalar
+//! path pays, per element, an `f64` division, two virtual calls, and a
+//! binary search over 24-byte [`crate::LatticePoint`] entries.
+//!
+//! This module splits that work into two precomputed layers:
+//!
+//! * [`QuantSpec`] — scale-independent geometry of a format's rounding
+//!   function: the decision *cuts* (underflow threshold and midpoints,
+//!   computed with exactly the arithmetic of
+//!   [`crate::EncodeTable::round_positive`]) plus the probed `quantize()`
+//!   output for every open region between cuts, for every exact tie on a
+//!   cut, and for the special inputs (±0, ±∞, NaN). Built once per format
+//!   instance and memoized in [`FormatCaches`].
+//! * [`QuantLut`] — per-scale codec. Each cut is translated into f32
+//!   *input* space by a monotone bisection over the non-negative f32 bit
+//!   patterns, using the same `f64::from(x) / scale` expression the scalar
+//!   path evaluates — so region membership is exact by construction, not
+//!   by analysis. Outputs are prescaled with the same `(v * scale) as f32`
+//!   cast. The hot loop is then a sign strip, a 256-entry coarse index on
+//!   the top exponent byte, and a short `u32` search: no division, no
+//!   virtual dispatch, no `f64` at all.
+//!
+//! Bit-exactness with the scalar path — including tie rules, underflow
+//! policy, saturation, `-0.0`, infinities and NaN — is asserted by the
+//! in-module sweep tests and by the cross-format property tests in
+//! `tests/quant_slice_props.rs`.
+
+use crate::fields::ValueClass;
+use crate::format::{Format, UnderflowPolicy};
+use crate::profile::PrecisionProfile;
+use std::sync::{Arc, OnceLock};
+
+/// Below this many elements the scalar loop wins: building a [`QuantLut`]
+/// costs roughly a thousand scalar quantizations' worth of bisections.
+pub const LUT_MIN_LEN: usize = 1024;
+
+/// Bit pattern of `f32::MAX`: the largest finite positive magnitude.
+const MAX_MAG_BITS: u32 = 0x7f7f_ffff;
+
+/// Coarse-index granularity: magnitudes are bucketed by their top
+/// `32 − 1 − COARSE_SHIFT = 12` bits (exponent + 4 mantissa bits), i.e.
+/// sixteen buckets per binade, so a bucket rarely spans more than a few
+/// regions.
+const COARSE_SHIFT: u32 = 19;
+
+/// Number of coarse buckets covering all finite positive magnitudes.
+const N_BUCKETS: usize = (MAX_MAG_BITS >> COARSE_SHIFT) as usize + 1;
+
+/// Largest per-bucket region count served by the branchless probe loop;
+/// beyond it (degenerate scales crowding many regions into one bucket)
+/// the lookup falls back to binary search.
+const PROBE_CUTOFF: u32 = 8;
+
+/// Scale-independent quantization geometry of one format: decision cuts in
+/// the unscaled domain and the probed `quantize()` output everywhere.
+///
+/// Build once per format (or take the memoized copy via
+/// [`Format::quant_spec`]), then instantiate a [`QuantLut`] per scale.
+#[derive(Debug, Clone)]
+pub struct QuantSpec {
+    /// Decision boundaries over positive magnitudes, strictly ascending:
+    /// the flush-to-zero threshold (when the policy has one) followed by
+    /// the midpoint between each pair of adjacent lattice magnitudes,
+    /// computed as `a + (b - a) / 2` — the exact expression
+    /// `round_positive` compares against.
+    cuts: Vec<f64>,
+    /// `quantize()` output on each open region between cuts
+    /// (`cuts.len() + 1` entries; the last one is the saturation value).
+    region_outs: Vec<f64>,
+    /// `quantize(-m)` for the same regions. Probed separately rather than
+    /// negated: formats disagree on the sign of a zero result (FP8's
+    /// negative underflow keeps `-0.0`, INT8's decode yields `+0.0`).
+    region_outs_neg: Vec<f64>,
+    /// `quantize()` output for an input landing exactly on each cut
+    /// (tie-rule / underflow-tie behavior, probed, `cuts.len()` entries).
+    tie_outs: Vec<f64>,
+    /// `quantize(-cut)` for the same ties.
+    tie_outs_neg: Vec<f64>,
+    q_zero_pos: f64,
+    q_zero_neg: f64,
+    q_inf_pos: f64,
+    q_inf_neg: f64,
+    q_nan: f64,
+}
+
+impl QuantSpec {
+    /// Derives the spec from a format by enumerating its positive finite
+    /// lattice and probing `quantize()` at region representatives, cuts,
+    /// and special values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format has no positive finite values.
+    #[must_use]
+    pub fn of<F: Format + ?Sized>(fmt: &F) -> Self {
+        let mut vals: Vec<f64> = fmt
+            .codes()
+            .map(|c| c as u16)
+            .filter(|&c| fmt.classify(c) == ValueClass::Finite)
+            .map(|c| fmt.decode(c))
+            .filter(|&v| v > 0.0)
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        vals.dedup();
+        assert!(!vals.is_empty(), "format has no positive finite values");
+
+        let mut cuts = Vec::with_capacity(vals.len());
+        let mut reps = Vec::with_capacity(vals.len() + 1);
+        if fmt.underflow_policy() == UnderflowPolicy::FlushToZero {
+            // Region (0, v0/2) rounds toward zero; probe it strictly inside.
+            cuts.push(vals[0] / 2.0);
+            reps.push(vals[0] / 4.0);
+        }
+        for w in vals.windows(2) {
+            cuts.push(w[0] + (w[1] - w[0]) / 2.0);
+        }
+        // Each remaining region contains exactly one lattice magnitude.
+        reps.extend(vals.iter().copied());
+
+        let region_outs = reps.iter().map(|&r| fmt.quantize(r)).collect();
+        let region_outs_neg = reps.iter().map(|&r| fmt.quantize(-r)).collect();
+        let tie_outs = cuts.iter().map(|&c| fmt.quantize(c)).collect();
+        let tie_outs_neg = cuts.iter().map(|&c| fmt.quantize(-c)).collect();
+
+        Self {
+            cuts,
+            region_outs,
+            region_outs_neg,
+            tie_outs,
+            tie_outs_neg,
+            q_zero_pos: fmt.quantize(0.0),
+            q_zero_neg: fmt.quantize(-0.0),
+            q_inf_pos: fmt.quantize(f64::INFINITY),
+            q_inf_neg: fmt.quantize(f64::NEG_INFINITY),
+            q_nan: fmt.quantize(f64::NAN),
+        }
+    }
+
+    /// Number of decision cuts (≈ the positive lattice size).
+    #[must_use]
+    pub fn num_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+}
+
+/// Largest bit pattern in `[1, MAX_MAG_BITS]` whose value satisfies the
+/// monotone predicate `pred(f64::from(x) / scale)`, or 0 if none does.
+fn max_bits_where(scale: f64, pred: impl Fn(f64) -> bool) -> u32 {
+    let holds = |bits: u32| pred(f64::from(f32::from_bits(bits)) / scale);
+    if !holds(1) {
+        return 0;
+    }
+    if holds(MAX_MAG_BITS) {
+        return MAX_MAG_BITS;
+    }
+    // Invariant: holds(lo) && !holds(hi).
+    let (mut lo, mut hi) = (1u32, MAX_MAG_BITS);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if holds(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Appends a region `(…, upper] → (pos, neg)`, merging with the previous
+/// region when both output bit patterns match (keeps the table short).
+fn push_region(
+    uppers: &mut Vec<u32>,
+    outs: &mut Vec<f32>,
+    outs_neg: &mut Vec<f32>,
+    upper: u32,
+    pos: f32,
+    neg: f32,
+) {
+    if let Some(last_u) = uppers.last_mut() {
+        let same = outs.last().copied().map(f32::to_bits) == Some(pos.to_bits())
+            && outs_neg.last().copied().map(f32::to_bits) == Some(neg.to_bits());
+        if same {
+            *last_u = upper;
+            return;
+        }
+    }
+    uppers.push(upper);
+    outs.push(pos);
+    outs_neg.push(neg);
+}
+
+/// A per-scale fake-quantization codec: maps any f32 to
+/// `(fmt.quantize(f64::from(x) / scale) * scale) as f32` bit-exactly,
+/// without touching `f64` on the hot path.
+#[derive(Debug, Clone)]
+pub struct QuantLut {
+    /// Ascending upper bit-bounds (inclusive) of the positive-magnitude
+    /// regions; the last entry is always `f32::MAX`'s bit pattern.
+    uppers: Vec<u32>,
+    /// Prescaled `[positive, negative]` output per region, parallel to
+    /// `uppers`; indexed by the input's sign bit so the sign selection is
+    /// a load, not a (randomly taken) branch.
+    out_pairs: Vec<[f32; 2]>,
+    /// `coarse[b]` = first region index whose upper bound reaches the
+    /// magnitudes in bucket `b` (top [`COARSE_SHIFT`]-shifted bits, i.e.
+    /// one sixteenth of a binade) — narrows the search to a handful of
+    /// regions.
+    coarse: Vec<u32>,
+    /// Maximum regions any single bucket spans: the fixed trip count of
+    /// the branchless probe loop in [`QuantLut::map`].
+    probe_len: u32,
+    zero_pos: f32,
+    zero_neg: f32,
+    inf_pos: f32,
+    inf_neg: f32,
+    nan_out: f32,
+}
+
+impl QuantLut {
+    /// Whether a LUT can represent this scale exactly. Degenerate scales
+    /// (non-positive, non-finite, or so small that `x / scale` overflows
+    /// for in-range f32 inputs) must use the scalar path.
+    #[must_use]
+    pub fn supports(scale: f64) -> bool {
+        scale > 0.0 && scale.is_finite() && (f64::from(f32::MAX) / scale).is_finite()
+    }
+
+    /// Builds the codec for one scale, or `None` when
+    /// [`QuantLut::supports`] rejects the scale.
+    #[must_use]
+    pub fn build(spec: &QuantSpec, scale: f64) -> Option<Self> {
+        if !Self::supports(scale) {
+            return None;
+        }
+        let emit = |v: f64| (v * scale) as f32;
+        let mut uppers: Vec<u32> = Vec::with_capacity(spec.cuts.len() + 2);
+        let mut outs: Vec<f32> = Vec::with_capacity(spec.cuts.len() + 2);
+        let mut outs_neg: Vec<f32> = Vec::with_capacity(spec.cuts.len() + 2);
+        let mut prev = 0u32;
+        // Huge scales underflow `x / scale` to exactly ±0.0 for small
+        // magnitudes; `encode` treats an exact zero as the zero class, not
+        // as an underflowing nonzero, so that bit range needs the zero
+        // outputs rather than the first region's.
+        let under = max_bits_where(scale, |m| m == 0.0);
+        if under > 0 {
+            push_region(
+                &mut uppers,
+                &mut outs,
+                &mut outs_neg,
+                under,
+                emit(spec.q_zero_pos),
+                emit(spec.q_zero_neg),
+            );
+            prev = under;
+        }
+        for (i, &cut) in spec.cuts.iter().enumerate() {
+            // Largest f32 whose unscaled preimage stays strictly below the
+            // cut — found with the scalar path's own division, so the
+            // boundary is exact by construction.
+            let below = max_bits_where(scale, |m| m < cut);
+            if below > prev {
+                push_region(
+                    &mut uppers,
+                    &mut outs,
+                    &mut outs_neg,
+                    below,
+                    emit(spec.region_outs[i]),
+                    emit(spec.region_outs_neg[i]),
+                );
+                prev = below;
+            }
+            // Inputs dividing exactly onto the cut take the tie output.
+            if below < MAX_MAG_BITS && f64::from(f32::from_bits(below + 1)) / scale == cut {
+                let at = max_bits_where(scale, |m| m <= cut);
+                push_region(
+                    &mut uppers,
+                    &mut outs,
+                    &mut outs_neg,
+                    at,
+                    emit(spec.tie_outs[i]),
+                    emit(spec.tie_outs_neg[i]),
+                );
+                prev = at;
+            }
+        }
+        if prev < MAX_MAG_BITS || uppers.is_empty() {
+            let sat = *spec.region_outs.last().expect("non-empty regions");
+            let sat_neg = *spec.region_outs_neg.last().expect("non-empty regions");
+            push_region(
+                &mut uppers,
+                &mut outs,
+                &mut outs_neg,
+                MAX_MAG_BITS,
+                emit(sat),
+                emit(sat_neg),
+            );
+        }
+        let coarse: Vec<u32> = (0..=N_BUCKETS as u32)
+            .map(|b| uppers.partition_point(|&u| u < (b << COARSE_SHIFT)) as u32)
+            .collect();
+        let probe_len = coarse.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let out_pairs = outs.iter().zip(&outs_neg).map(|(&p, &n)| [p, n]).collect();
+        Some(Self {
+            uppers,
+            out_pairs,
+            coarse,
+            probe_len,
+            zero_pos: emit(spec.q_zero_pos),
+            zero_neg: emit(spec.q_zero_neg),
+            inf_pos: emit(spec.q_inf_pos),
+            inf_neg: emit(spec.q_inf_neg),
+            nan_out: emit(spec.q_nan),
+        })
+    }
+
+    /// Fake-quantizes one value.
+    #[inline]
+    #[must_use]
+    pub fn map(&self, x: f32) -> f32 {
+        let bits = x.to_bits();
+        let mag = bits & 0x7fff_ffff;
+        // Finite non-zero fast path: mag ∈ [1, f32::MAX bits].
+        if mag.wrapping_sub(1) < MAX_MAG_BITS {
+            let b = (mag >> COARSE_SHIFT) as usize;
+            let lo = self.coarse[b] as usize;
+            let idx = if self.probe_len <= PROBE_CUTOFF {
+                // Branchless bounded probe: once `uppers[idx] >= mag` the
+                // increment predicate stays false, so `idx` parks on the
+                // answer and never walks past the last region.
+                let mut idx = lo;
+                for _ in 0..self.probe_len {
+                    idx += usize::from(self.uppers[idx] < mag);
+                }
+                idx
+            } else {
+                // Crowded buckets (extreme scales): binary search.
+                let hi = self.coarse[b + 1] as usize;
+                lo + self.uppers[lo..hi].partition_point(|&u| u < mag)
+            };
+            return self.out_pairs[idx][(bits >> 31) as usize];
+        }
+        if mag == 0 {
+            if bits == 0 {
+                self.zero_pos
+            } else {
+                self.zero_neg
+            }
+        } else if mag > 0x7f80_0000 {
+            self.nan_out
+        } else if bits & 0x8000_0000 == 0 {
+            self.inf_pos
+        } else {
+            self.inf_neg
+        }
+    }
+
+    /// Fake-quantizes a slice in place.
+    pub fn apply(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.map(*x);
+        }
+    }
+
+    /// Number of regions in the positive-magnitude table.
+    #[must_use]
+    pub fn num_regions(&self) -> usize {
+        self.uppers.len()
+    }
+}
+
+/// The reference per-element fake-quantization loop — the semantics every
+/// batched path must reproduce bit for bit.
+pub fn quantize_slice_scalar<F: Format + ?Sized>(fmt: &F, xs: &mut [f32], scale: f64) {
+    for x in xs {
+        *x = (fmt.quantize(f64::from(*x) / scale) * scale) as f32;
+    }
+}
+
+/// Shared `quantize_slice` implementation for formats carrying a
+/// [`FormatCaches`]: batched LUT when the slice is long enough and the
+/// scale representable, scalar reference loop otherwise.
+pub fn quantize_slice_cached<F: Format + ?Sized>(
+    fmt: &F,
+    caches: &FormatCaches,
+    xs: &mut [f32],
+    scale: f64,
+) {
+    if xs.len() >= LUT_MIN_LEN && QuantLut::supports(scale) {
+        if let Some(lut) = QuantLut::build(&caches.spec(fmt), scale) {
+            lut.apply(xs);
+            return;
+        }
+    }
+    quantize_slice_scalar(fmt, xs, scale);
+}
+
+/// The scale anchor: the largest lattice magnitude inside the *highest*
+/// binade that still carries the format's maximal effective fraction bits
+/// (the top of the precision plateau; see `mersit-ptq`'s scaling docs).
+pub fn compute_scale_anchor<F: Format + ?Sized>(fmt: &F) -> f64 {
+    anchor_from_profile(fmt, &fmt.precision_profile())
+}
+
+fn anchor_from_profile<F: Format + ?Sized>(fmt: &F, profile: &PrecisionProfile) -> f64 {
+    let best = profile.max_frac_bits();
+    let top_exp = profile
+        .binades
+        .iter()
+        .filter(|b| b.frac_bits == best)
+        .map(|b| b.exp)
+        .max()
+        .expect("non-empty profile");
+    let mut anchor = 0.0f64;
+    for code in fmt.codes() {
+        let code = code as u16;
+        if fmt.classify(code) != ValueClass::Finite {
+            continue;
+        }
+        let v = fmt.decode(code);
+        if v > 0.0 && (v.log2().floor() as i32) == top_exp && v > anchor {
+            anchor = v;
+        }
+    }
+    anchor
+}
+
+/// Per-instance memoization of a format's derived constants: the
+/// [`QuantSpec`], the [`PrecisionProfile`], and the scale anchor.
+///
+/// Formats embed one of these and route the corresponding [`Format`]
+/// methods through it; cloning a format shares the already-computed
+/// artifacts (they are behind `Arc`s).
+#[derive(Debug, Clone, Default)]
+pub struct FormatCaches {
+    spec: OnceLock<Arc<QuantSpec>>,
+    profile: OnceLock<Arc<PrecisionProfile>>,
+    anchor: OnceLock<f64>,
+}
+
+impl FormatCaches {
+    /// An empty cache; every artifact is computed on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized [`QuantSpec`] of `fmt`.
+    pub fn spec<F: Format + ?Sized>(&self, fmt: &F) -> Arc<QuantSpec> {
+        Arc::clone(self.spec.get_or_init(|| Arc::new(QuantSpec::of(fmt))))
+    }
+
+    /// The memoized [`PrecisionProfile`] of `fmt`.
+    pub fn profile<F: Format + ?Sized>(&self, fmt: &F) -> Arc<PrecisionProfile> {
+        Arc::clone(
+            self.profile
+                .get_or_init(|| Arc::new(PrecisionProfile::of(fmt))),
+        )
+    }
+
+    /// The memoized scale anchor of `fmt`.
+    pub fn anchor<F: Format + ?Sized>(&self, fmt: &F) -> f64 {
+        *self
+            .anchor
+            .get_or_init(|| anchor_from_profile(fmt, &self.profile(fmt)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::table2_formats;
+    use crate::{Fp8, Int8, Mersit, Posit};
+
+    fn scalar_ref(fmt: &dyn Format, x: f32, scale: f64) -> f32 {
+        (fmt.quantize(f64::from(x) / scale) * scale) as f32
+    }
+
+    /// Probes the LUT against the scalar reference on every structurally
+    /// interesting input: cuts and lattice values mapped back into input
+    /// space (± one ulp), specials, subnormals, and pseudo-random values.
+    fn assert_bit_exact(fmt: &dyn Format, scale: f64) {
+        let spec = QuantSpec::of(fmt);
+        let lut = QuantLut::build(&spec, scale).expect("supported scale");
+        let mut probes: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0xffc0_0001), // negative NaN with payload
+            f32::from_bits(0x7f80_0001), // signalling-style NaN
+            f32::MIN_POSITIVE,
+            f32::from_bits(1), // smallest subnormal
+            f32::MAX,
+            -f32::MAX,
+        ];
+        for &c in spec.cuts.iter().chain(spec.region_outs.iter()) {
+            let y = (c * scale) as f32;
+            if y.is_finite() {
+                for d in [y, y.next_up(), y.next_down()] {
+                    probes.push(d);
+                    probes.push(-d);
+                }
+            }
+        }
+        // Deterministic pseudo-random bit patterns (finite magnitudes).
+        let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ scale.to_bits();
+        for _ in 0..4000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let bits = (state >> 33) as u32;
+            let mag = bits & 0x7fff_ffff;
+            if mag <= MAX_MAG_BITS {
+                probes.push(f32::from_bits(bits));
+            }
+        }
+        for x in probes {
+            let got = lut.map(x);
+            let want = scalar_ref(fmt, x, scale);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{} scale={scale} x={x:?} ({:#010x}): lut {got:?} vs scalar {want:?}",
+                fmt.name(),
+                x.to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn lut_matches_scalar_for_all_table2_formats() {
+        for fmt in table2_formats() {
+            for scale in [1.0, 0.0378, 1.0 / 127.0, 3.7e-5, 128.0] {
+                assert_bit_exact(fmt.as_ref(), scale);
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_scalar_on_awkward_scales() {
+        let m = Mersit::new(8, 2).unwrap();
+        for scale in [
+            f64::from(1.0f32.next_down()),
+            1e30,
+            1e-30,
+            f64::from(f32::MIN_POSITIVE),
+        ] {
+            if QuantLut::supports(scale) {
+                assert_bit_exact(&m, scale);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_scales_are_rejected() {
+        for scale in [0.0, -1.0, f64::NAN, f64::INFINITY, 1e-300] {
+            assert!(!QuantLut::supports(scale), "scale {scale} must fall back");
+        }
+        // quantize_slice still works on them via the scalar fallback.
+        let m = Mersit::new(8, 2).unwrap();
+        for scale in [0.0, -1.0, f64::NAN, f64::INFINITY, 1e-300] {
+            let mut xs = vec![1.0f32; 4];
+            let mut want = xs.clone();
+            m.quantize_slice(&mut xs, scale);
+            quantize_slice_scalar(&m, &mut want, scale);
+            let (a, b): (Vec<u32>, Vec<u32>) = (
+                xs.iter().map(|v| v.to_bits()).collect(),
+                want.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(a, b, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_long_path_is_bit_exact() {
+        for fmt in [
+            &Mersit::new(8, 3).unwrap() as &dyn Format,
+            &Posit::new(8, 1).unwrap(),
+            &Posit::standard(8, 2).unwrap(),
+            &Fp8::new(5).unwrap(),
+            &Int8::new(),
+        ] {
+            let mut xs: Vec<f32> = (0..4096)
+                .map(|i| ((i as f32) - 2048.0) * 0.019_73)
+                .collect();
+            xs[7] = f32::NAN;
+            xs[100] = f32::INFINITY;
+            xs[200] = -0.0;
+            let mut want = xs.clone();
+            let scale = 0.031_4;
+            fmt.quantize_slice(&mut xs, scale);
+            quantize_slice_scalar(fmt, &mut want, scale);
+            for (i, (a, b)) in xs.iter().zip(&want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} elem {i}", fmt.name());
+            }
+        }
+    }
+
+    #[test]
+    fn caches_memoize_and_survive_clone() {
+        let m = Mersit::new(8, 2).unwrap();
+        let s1 = m.quant_spec();
+        let s2 = m.quant_spec();
+        assert!(Arc::ptr_eq(&s1, &s2), "spec must be memoized");
+        let p1 = m.precision_profile();
+        let p2 = m.precision_profile();
+        assert!(Arc::ptr_eq(&p1, &p2), "profile must be memoized");
+        assert_eq!(m.scale_anchor(), 7.75);
+        let cloned = m.clone();
+        assert!(
+            Arc::ptr_eq(&s1, &cloned.quant_spec()),
+            "clone shares cached artifacts"
+        );
+    }
+
+    #[test]
+    fn anchors_match_known_values() {
+        assert_eq!(Int8::new().scale_anchor(), 127.0);
+        let f = Fp8::new(4).unwrap();
+        assert_eq!(f.scale_anchor(), f.max_finite());
+        assert!((Posit::new(8, 1).unwrap().scale_anchor() - 3.875).abs() < 1e-12);
+        assert!((Mersit::new(8, 2).unwrap().scale_anchor() - 7.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_scale_underflow_keeps_zero_sign_semantics() {
+        // With scale 4e307, x/scale underflows to exactly ±0.0 for small
+        // |x|; encode's zero class then yields +0.0 for both signs under
+        // FP8 (whereas a nonzero underflow yields −0.0 for negatives).
+        let f = Fp8::new(2).unwrap();
+        let scale = 4e307;
+        let lut = QuantLut::build(&f.quant_spec(), scale).unwrap();
+        for x in [3.3e-34f32, -3.3e-34, 1e-30, -1e-30, f32::MIN_POSITIVE] {
+            let want = (f.quantize(f64::from(x) / scale) * scale) as f32;
+            assert_eq!(
+                lut.map(x).to_bits(),
+                want.to_bits(),
+                "x={x:e}: lut {:e} vs scalar {want:e}",
+                lut.map(x)
+            );
+        }
+    }
+
+    #[test]
+    fn lut_is_compact() {
+        // Region merging keeps the table near the lattice size, and the
+        // coarse index has one entry per bucket plus a terminator.
+        let m = Mersit::new(8, 2).unwrap();
+        let lut = QuantLut::build(&m.quant_spec(), 1.0).unwrap();
+        assert!(lut.num_regions() <= 2 * m.quant_spec().num_cuts() + 2);
+        assert_eq!(lut.coarse.len(), N_BUCKETS + 1);
+        assert_eq!(*lut.uppers.last().unwrap(), MAX_MAG_BITS);
+        // An ordinary scale keeps every bucket sparse enough for the
+        // branchless probe loop.
+        assert!(lut.probe_len <= PROBE_CUTOFF, "probe_len {}", lut.probe_len);
+    }
+}

@@ -68,10 +68,7 @@ pub fn mersit_table(m: &Mersit) -> Vec<MersitTableRow> {
             let mut pattern: String = format!("{:0width$b}", code, width = nb as usize);
             // Replace the fraction positions by 'x'.
             let len = pattern.len();
-            pattern.replace_range(
-                (len - fb as usize)..len,
-                &"x".repeat(fb as usize),
-            );
+            pattern.replace_range((len - fb as usize)..len, &"x".repeat(fb as usize));
             rows.push(MersitTableRow {
                 pattern,
                 k: Some(k),
@@ -170,10 +167,7 @@ mod tests {
     #[test]
     fn table1_effs_ascend_from_minus9_to_8() {
         let m = Mersit::new(8, 2).unwrap();
-        let effs: Vec<i32> = mersit_table(&m)
-            .iter()
-            .filter_map(|r| r.exp_eff)
-            .collect();
+        let effs: Vec<i32> = mersit_table(&m).iter().filter_map(|r| r.exp_eff).collect();
         assert_eq!(effs, (-9..=8).collect::<Vec<_>>());
     }
 

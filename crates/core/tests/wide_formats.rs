@@ -35,7 +35,7 @@ fn posit16_matches_known_encodings() {
     assert_eq!(p.decode(0x5000), 2.0);
     assert_eq!(p.decode(0xC000), -1.0);
     assert!(p.decode(0x8000).is_nan()); // NaR
-    // minpos of standard posit(16,1) = 2^-28.
+                                        // minpos of standard posit(16,1) = 2^-28.
     assert_eq!(p.min_positive(), 2f64.powi(-28));
 }
 

@@ -1,0 +1,254 @@
+//! A minimal, dependency-free shim of the [criterion](https://crates.io/crates/criterion)
+//! API surface used by this workspace's benches.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! criterion cannot be fetched. This crate keeps the same bench source
+//! compiling and produces wall-clock measurements with `std::time`:
+//!
+//! * under `cargo bench` (argv contains `--bench`) each benchmark is
+//!   warmed up and then timed over a fixed measurement window, reporting
+//!   ns/iter and, when a [`Throughput`] was declared, elements per second;
+//! * under `cargo test` (no `--bench` flag) each benchmark body runs once,
+//!   acting as a smoke test — mirroring real criterion's test mode.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration workload, used to derive rate reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    full: bool,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.full {
+            std::hint::black_box(f());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm up for ~100ms while estimating the per-iter cost.
+        let warmup = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let est = start.elapsed().as_secs_f64() / iters as f64;
+        // Measure for ~300ms in one timed run.
+        let target = (0.3 / est.max(1e-9)).ceil().max(1.0) as u64;
+        let t0 = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(f());
+        }
+        self.ns_per_iter = t0.elapsed().as_secs_f64() * 1e9 / target as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benches a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let tp = self.throughput;
+        self.parent.run_one(&label, tp, &mut f);
+        self
+    }
+
+    /// Benches a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let tp = self.throughput;
+        self.parent.run_one(&label, tp, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror real criterion: full measurement only under `cargo bench`
+        // (which passes `--bench`); plain execution (e.g. `cargo test`)
+        // runs each body once as a smoke test.
+        Self {
+            full: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().to_string();
+        self.run_one(&label, None, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, tp: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            full: self.full,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        if !self.full {
+            println!("test {label} ... ok (bench smoke run)");
+            return;
+        }
+        let per_iter = b.ns_per_iter;
+        let rate = match tp {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / (per_iter * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / (per_iter * 1e-9))
+            }
+            None => String::new(),
+        };
+        println!("{label:<48} {per_iter:>14.1} ns/iter{rate}");
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        if self.full {
+            println!("(criterion shim: wall-clock timings, no statistical analysis)");
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { full: false };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(8));
+            g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+                b.iter(|| calls += 1);
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("enc", "FP8").to_string(), "enc/FP8");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

@@ -70,7 +70,10 @@ pub struct MacBreakdown {
 /// Panics if either slice is empty.
 #[must_use]
 pub fn encode_stream(fmt: &dyn Format, weights: &[f64], acts: &[f64]) -> Vec<(u16, u16)> {
-    assert!(!weights.is_empty() && !acts.is_empty(), "empty operand data");
+    assert!(
+        !weights.is_empty() && !acts.is_empty(),
+        "empty operand data"
+    );
     let n = weights.len().max(acts.len());
     (0..n)
         .map(|i| {
@@ -184,7 +187,11 @@ pub fn mac_cost_with_margin(
         multiplier: costs(&area, &power, &mp),
         decoder: costs(&area, &power, &format!("{mp}/{}", mult_scopes::DECODER)),
         aligner: costs(&area, &power, &format!("{root}/{}", mac_scopes::ALIGNER)),
-        accumulator: costs(&area, &power, &format!("{root}/{}", mac_scopes::ACCUMULATOR)),
+        accumulator: costs(
+            &area,
+            &power,
+            &format!("{root}/{}", mac_scopes::ACCUMULATOR),
+        ),
         total: BlockCost {
             area_um2: area.total_um2,
             power_uw: power.total_uw(),

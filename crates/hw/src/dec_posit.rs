@@ -138,7 +138,11 @@ mod tests {
                         i64::from(d.exp_eff),
                         "es={es} code {c:#010b}"
                     );
-                    assert_eq!(sim.get(&out.sig), u64::from(d.sig), "es={es} code {c:#010b}");
+                    assert_eq!(
+                        sim.get(&out.sig),
+                        u64::from(d.sig),
+                        "es={es} code {c:#010b}"
+                    );
                 }
                 ValueClass::Zero => {
                     assert_eq!(sim.peek_output("is_zero"), 1, "code {c:#010b}");

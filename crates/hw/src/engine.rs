@@ -50,7 +50,10 @@ impl DotEngine {
     /// the 63-bit simulation limit.
     #[must_use]
     pub fn build(dec: &dyn Decoder, lanes: usize, v_ovf: u32) -> Self {
-        assert!(lanes.is_power_of_two() && lanes >= 2, "lanes must be 2^k >= 2");
+        assert!(
+            lanes.is_power_of_two() && lanes >= 2,
+            "lanes must be 2^k >= 2"
+        );
         let params = dec.params();
         // One exact product spans W + 2M − 2 bits; the tree adds log2(N)
         // plus one sign bit.

@@ -72,15 +72,18 @@ pub mod mult;
 pub mod ports;
 pub mod requant;
 
-pub use cost::{encode_stream, gaussian_samples, mac_cost, mac_cost_with_margin, multiplier_cost, BlockCost, MacBreakdown, MultiplierBreakdown};
+pub use cost::{
+    encode_stream, gaussian_samples, mac_cost, mac_cost_with_margin, multiplier_cost, BlockCost,
+    MacBreakdown, MultiplierBreakdown,
+};
 pub use dec_fp8::Fp8Decoder;
 pub use dec_mersit::MersitDecoder;
 pub use dec_posit::PositDecoder;
 pub use engine::DotEngine;
 pub use golden::GoldenMac;
 pub use mac::MacUnit;
-pub use requant::MersitRequantizer;
 pub use ports::{standalone_decoder, Decoder, DecoderOutputs};
+pub use requant::MersitRequantizer;
 
 use mersit_core::{parse_format, InvalidFormatError};
 
@@ -98,7 +101,9 @@ pub fn decoder_for(name: &str) -> Result<Box<dyn Decoder>, InvalidFormatError> {
     let n = fmt.name();
     if let Some(args) = n.strip_prefix("MERSIT(") {
         let (b, e) = split_args(args)?;
-        return Ok(Box::new(MersitDecoder::new(mersit_core::Mersit::new(b, e)?)));
+        return Ok(Box::new(MersitDecoder::new(mersit_core::Mersit::new(
+            b, e,
+        )?)));
     }
     if let Some(args) = n.strip_prefix("Posit(") {
         let (b, e) = split_args(args)?;
@@ -106,7 +111,9 @@ pub fn decoder_for(name: &str) -> Result<Box<dyn Decoder>, InvalidFormatError> {
     }
     if let Some(args) = n.strip_prefix("FP(") {
         let (b, e) = split_args(args)?;
-        return Ok(Box::new(Fp8Decoder::new(mersit_core::Fp8::with_bits(b, e)?)));
+        return Ok(Box::new(Fp8Decoder::new(mersit_core::Fp8::with_bits(
+            b, e,
+        )?)));
     }
     Err(InvalidFormatError::new(format!(
         "no hardware decoder for `{n}`"

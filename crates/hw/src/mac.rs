@@ -94,12 +94,10 @@ impl MacUnit {
         let (acc_regs, acc) = nl.scoped(scopes::ACCUMULATOR, |nl| {
             let (ids, q) = nl.dff_bus_uninit(acc_width);
             // Conditional negation: XOR with sign, +sign as carry-in.
-            let x = Bus(
-                aligned
-                    .iter()
-                    .map(|&b| nl.xor2(b, mult.sign))
-                    .collect::<Vec<_>>(),
-            );
+            let x = Bus(aligned
+                .iter()
+                .map(|&b| nl.xor2(b, mult.sign))
+                .collect::<Vec<_>>());
             let (sum, _) = nl.ripple_add(&q, &x, Some(mult.sign));
             let nclear = nl.not(clear.bit(0));
             let next = Bus(sum.iter().map(|&b| nl.and2(b, nclear)).collect::<Vec<_>>());
@@ -153,7 +151,9 @@ mod tests {
     use mersit_netlist::Simulator;
 
     fn lcg(seed: &mut u64) -> u64 {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *seed >> 33
     }
 

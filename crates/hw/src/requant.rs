@@ -75,10 +75,7 @@ impl MersitRequantizer {
                 // `sel[s]` is MSB-first: index = mag_bits − 1 − s.
                 let val = (mag_bits - 1 - s) as u64;
                 let cand = nl.lit(iw, val);
-                let gated = Bus(cand
-                    .iter()
-                    .map(|&b| nl.and2(b, hot))
-                    .collect::<Vec<_>>());
+                let gated = Bus(cand.iter().map(|&b| nl.and2(b, hot)).collect::<Vec<_>>());
                 idx = Bus(idx
                     .iter()
                     .zip(gated.iter())
@@ -172,10 +169,7 @@ impl MersitRequantizer {
             let c = nl.mux2(g0, c_g0, c12);
             // After a carry the fraction is zero.
             let nc = nl.not(c);
-            let frac_after = Bus(frac_r
-                .iter()
-                .map(|&b| nl.and2(b, nc))
-                .collect::<Vec<_>>());
+            let frac_after = Bus(frac_r.iter().map(|&b| nl.and2(b, nc)).collect::<Vec<_>>());
             (frac_after, c)
         });
 

@@ -195,9 +195,9 @@ impl Netlist {
     pub fn leading_zero_count(&mut self, a: &Bus) -> Bus {
         let w = a.width();
         let out_w = usize::BITS as usize - w.leading_zeros() as usize; // bits for 0..=w
-        // prefix_zero[i] = 1 iff bits (w-1) ..= (w-i) are all zero.
-        // count = sum over i of prefix_zero up to first one.
-        // Implement as priority chain: sel_i = "first one at position i from MSB".
+                                                                       // prefix_zero[i] = 1 iff bits (w-1) ..= (w-i) are all zero.
+                                                                       // count = sum over i of prefix_zero up to first one.
+                                                                       // Implement as priority chain: sel_i = "first one at position i from MSB".
         let mut not_bits = Vec::with_capacity(w);
         for i in (0..w).rev() {
             not_bits.push(self.not(a.bit(i))); // MSB-first inverted bits
@@ -419,7 +419,11 @@ mod tests {
         for x in 0..128u64 {
             sim.set(&a, x);
             sim.step();
-            let expect = if x == 0 { 7 } else { 6 - (63 - x.leading_zeros() as u64) };
+            let expect = if x == 0 {
+                7
+            } else {
+                6 - (63 - x.leading_zeros() as u64)
+            };
             assert_eq!(sim.peek_output("c"), expect, "lzc({x:07b})");
         }
     }

@@ -231,7 +231,13 @@ impl Netlist {
     /// A `width`-bit bus of constant rails spelling `value` (LSB first).
     pub fn lit(&mut self, width: usize, value: u64) -> Bus {
         Bus((0..width)
-            .map(|i| if (value >> i) & 1 == 1 { CONST1 } else { CONST0 })
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    CONST1
+                } else {
+                    CONST0
+                }
+            })
             .collect())
     }
 
@@ -545,12 +551,7 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics on width mismatch.
-    pub fn zip_bus(
-        &mut self,
-        a: &Bus,
-        b: &Bus,
-        op: fn(&mut Self, NetId, NetId) -> NetId,
-    ) -> Bus {
+    pub fn zip_bus(&mut self, a: &Bus, b: &Bus, op: fn(&mut Self, NetId, NetId) -> NetId) -> Bus {
         assert_eq!(a.width(), b.width(), "bus width mismatch");
         Bus(a
             .iter()

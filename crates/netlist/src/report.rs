@@ -194,7 +194,8 @@ mod tests {
             nl.not(a.bit(0));
         });
         let r = AreaReport::of(&nl);
-        let expect = CellKind::And2.area_um2() + CellKind::Xor2.area_um2() + CellKind::Inv.area_um2();
+        let expect =
+            CellKind::And2.area_um2() + CellKind::Xor2.area_um2() + CellKind::Inv.area_um2();
         assert!((r.total_um2 - expect).abs() < 1e-9);
         assert!((r.scope_area("top/left") - CellKind::And2.area_um2()).abs() < 1e-9);
         assert_eq!(r.by_cell["XOR2"], 1);

@@ -144,9 +144,7 @@ impl TimingReport {
                     cur = g
                         .inputs
                         .iter()
-                        .max_by(|a, b| {
-                            arrival[a.0 as usize].total_cmp(&arrival[b.0 as usize])
-                        })
+                        .max_by(|a, b| arrival[a.0 as usize].total_cmp(&arrival[b.0 as usize]))
                         .copied();
                 }
                 None => break, // primary input or DFF Q
@@ -156,7 +154,11 @@ impl TimingReport {
         let levels = path.len();
         Self {
             critical_path_ps: worst,
-            fmax_mhz: if worst > 0.0 { 1e6 / worst } else { f64::INFINITY },
+            fmax_mhz: if worst > 0.0 {
+                1e6 / worst
+            } else {
+                f64::INFINITY
+            },
             path,
             levels,
         }
@@ -251,7 +253,11 @@ mod tests {
         let _q2 = nl.dff(x);
         let t = TimingReport::of(&nl);
         // clk→Q (60) + INV (12) + setup (30) = 102 ps.
-        assert!((t.critical_path_ps - 102.0).abs() < 1e-9, "{}", t.critical_path_ps);
+        assert!(
+            (t.critical_path_ps - 102.0).abs() < 1e-9,
+            "{}",
+            t.critical_path_ps
+        );
         assert!(t.fmax_mhz > 9000.0);
     }
 

@@ -44,7 +44,11 @@ pub fn to_verilog(nl: &Netlist) -> String {
         ports.push("input clk".to_owned());
     }
     for p in nl.input_ports() {
-        ports.push(format!("input [{}:0] {}", p.bus.width() - 1, sanitize(&p.name)));
+        ports.push(format!(
+            "input [{}:0] {}",
+            p.bus.width() - 1,
+            sanitize(&p.name)
+        ));
     }
     for p in nl.output_ports() {
         ports.push(format!(
@@ -110,7 +114,13 @@ fn output_pin(kind: CellKind, idx: usize) -> &'static str {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -84,8 +84,8 @@ impl Layer for LayerNorm {
             }
             for i in 0..d {
                 let g = dd[r * d + i] * gd[i];
-                dx[r * d + i] = inv_stds[r]
-                    * (g - sum_g / d as f32 - xh[r * d + i] * sum_gx / d as f32);
+                dx[r * d + i] =
+                    inv_stds[r] * (g - sum_g / d as f32 - xh[r * d + i] * sum_gx / d as f32);
             }
         }
         self.gamma.grad.axpy(1.0, &Tensor::from_vec(dgamma, &[d]));

@@ -128,7 +128,7 @@ impl Layer for SEBlock {
         let s = self.fc2.forward(s, ctx);
         ctx.pop();
         let scale = self.gate.forward(s, ctx); // [N, C] in (0,1)
-        // Rescale channels.
+                                               // Rescale channels.
         let mut out = x.clone();
         let sd = scale.data().to_vec();
         {

@@ -72,10 +72,10 @@ fn gen_images(rng: &mut Rng, n: usize, hw: usize) -> Split {
                 for x in 0..hw {
                     let xf = x as f32 / hw as f32;
                     let yf = y as f32 / hw as f32;
-                    let grating = (freq * std::f32::consts::TAU
-                        * (xf * theta.cos() + yf * theta.sin())
-                        + cphase)
-                        .sin();
+                    let grating =
+                        (freq * std::f32::consts::TAU * (xf * theta.cos() + yf * theta.sin())
+                            + cphase)
+                            .sin();
                     let dx = xf - (blob_x + jx);
                     let dy = yf - (blob_y + jy);
                     let blob = (-(dx * dx + dy * dy) * 30.0).exp() * 1.2;
@@ -332,7 +332,12 @@ mod tests {
 
     #[test]
     fn glue_tasks_generate_valid_sequences() {
-        for task in [GlueTask::Cola, GlueTask::Mnli, GlueTask::Mrpc, GlueTask::Sst2] {
+        for task in [
+            GlueTask::Cola,
+            GlueTask::Mnli,
+            GlueTask::Mrpc,
+            GlueTask::Sst2,
+        ] {
             let d = glue_like(task, 1, 100, 50);
             assert_eq!(d.train.inputs.shape(), &[100, GLUE_SEQ_LEN]);
             assert_eq!(d.num_classes, task.num_classes());

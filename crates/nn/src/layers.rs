@@ -79,12 +79,16 @@ impl Layer for Linear {
         self.w.grad.axpy(1.0, &d2.transpose().matmul(&x));
         let mut db = vec![0.0f32; self.out_dim];
         for r in 0..rows {
-            for (s, &g) in db.iter_mut().zip(&d2.data()[r * self.out_dim..(r + 1) * self.out_dim])
+            for (s, &g) in db
+                .iter_mut()
+                .zip(&d2.data()[r * self.out_dim..(r + 1) * self.out_dim])
             {
                 *s += g;
             }
         }
-        self.b.grad.axpy(1.0, &Tensor::from_vec(db, &[self.out_dim]));
+        self.b
+            .grad
+            .axpy(1.0, &Tensor::from_vec(db, &[self.out_dim]));
         let dx = d2.matmul(&self.w.value);
         dx.reshape(&self.cache_shape)
     }
@@ -116,7 +120,14 @@ pub struct Conv2d {
 impl Conv2d {
     /// Kaiming-initialized convolution.
     #[must_use]
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let fan_in = in_ch * k * k;
         Self {
             w: Param::new(Tensor::kaiming(&[out_ch, fan_in], fan_in, rng)),
@@ -388,7 +399,8 @@ impl Layer for BatchNorm2d {
                 let base = (ni * c + ci) * h * w;
                 for i in base..base + h * w {
                     // dx = γ/σ · (d − mean(d) − x̂·mean(d·x̂))
-                    dx[i] = gd[ci] * inv_std[ci]
+                    dx[i] = gd[ci]
+                        * inv_std[ci]
                         * (dd[i] - sum_d[ci] / plane - xh[i] * sum_dxh[ci] / plane);
                 }
             }
@@ -436,9 +448,7 @@ impl ActKind {
             ActKind::Relu6 => x.clamp(0.0, 6.0),
             ActKind::HSwish => x * ((x + 3.0).clamp(0.0, 6.0)) / 6.0,
             ActKind::Silu => x * sigmoid(x),
-            ActKind::Gelu => {
-                0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044715 * x * x * x)).tanh())
-            }
+            ActKind::Gelu => 0.5 * x * (1.0 + ((0.797_884_6) * (x + 0.044715 * x * x * x)).tanh()),
             ActKind::Sigmoid => sigmoid(x),
             ActKind::Tanh => x.tanh(),
         }
@@ -803,12 +813,7 @@ impl Layer for Sequential {
 mod tests {
     use super::*;
 
-    fn numeric_check(
-        layer: &mut dyn Layer,
-        x: &Tensor,
-        picks: &[usize],
-        tol: f32,
-    ) {
+    fn numeric_check(layer: &mut dyn Layer, x: &Tensor, picks: &[usize], tol: f32) {
         // Loss = <forward(x), R> for a fixed random R.
         let mut rng = Rng::new(99);
         let y0 = layer.forward(x.clone(), &mut Ctx::training());

@@ -43,7 +43,16 @@ pub struct Model {
     pub input: InputKind,
 }
 
-fn conv_bn(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usize, p: usize, act: ActKind, rng: &mut Rng) {
+fn conv_bn(
+    seq: &mut Sequential,
+    cin: usize,
+    cout: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    act: ActKind,
+    rng: &mut Rng,
+) {
     seq.push(Conv2d::new(cin, cout, k, s, p, rng));
     seq.push(BatchNorm2d::new(cout));
     seq.push(Act::new(act));
@@ -132,7 +141,12 @@ fn bottleneck(cin: usize, mid: usize, cout: usize, stride: usize, rng: &mut Rng)
     }
 }
 
-fn resnet_bottleneck_model(name: &str, blocks_per_stage: usize, classes: usize, rng: &mut Rng) -> Model {
+fn resnet_bottleneck_model(
+    name: &str,
+    blocks_per_stage: usize,
+    classes: usize,
+    rng: &mut Rng,
+) -> Model {
     let mut net = Sequential::new();
     conv_bn(&mut net, 3, 16, 3, 1, 1, ActKind::Relu, rng);
     net.push(bottleneck(16, 8, 32, 1, rng));
@@ -199,13 +213,7 @@ fn inverted_residual(
     }
 }
 
-fn mobilenet_like(
-    name: &str,
-    act: ActKind,
-    se: bool,
-    classes: usize,
-    rng: &mut Rng,
-) -> Model {
+fn mobilenet_like(name: &str, act: ActKind, se: bool, classes: usize, rng: &mut Rng) -> Model {
     let mut net = Sequential::new();
     conv_bn(&mut net, 3, 12, 3, 1, 1, act, rng);
     net.push_named("ir0", inverted_residual(12, 12, 4, 1, act, se, rng));
@@ -243,7 +251,13 @@ pub fn efficientnet_b0_t(_hw: usize, classes: usize, rng: &mut Rng) -> Model {
 }
 
 /// Fused-MBConv: 3×3 expand convolution + 1×1 projection (EfficientNetV2).
-fn fused_mbconv(cin: usize, cout: usize, expand: usize, stride: usize, rng: &mut Rng) -> Box<dyn crate::layer::Layer> {
+fn fused_mbconv(
+    cin: usize,
+    cout: usize,
+    expand: usize,
+    stride: usize,
+    rng: &mut Rng,
+) -> Box<dyn crate::layer::Layer> {
     let mid = cin * expand;
     let mut main = Sequential::new();
     conv_bn(&mut main, cin, mid, 3, stride, 1, ActKind::Silu, rng);
@@ -358,7 +372,9 @@ mod tests {
         let mut rng = Rng::new(3);
         let mut m = bert_t(30, 16, 32, 3, &mut rng);
         let ids = Tensor::from_vec(
-            (0..32).map(|v| f32::from(u8::try_from(v % 30).unwrap())).collect(),
+            (0..32)
+                .map(|v| f32::from(u8::try_from(v % 30).unwrap()))
+                .collect(),
             &[2, 16],
         );
         let y = m.net.forward(ids, &mut Ctx::training());
@@ -386,9 +402,11 @@ mod tests {
         let mut b = vision_zoo(12, 10, 5);
         for (ma, mb) in a.iter_mut().zip(b.iter_mut()) {
             let mut wa = Vec::new();
-            ma.net.visit_params("", &mut |_, p| wa.extend_from_slice(p.value.data()));
+            ma.net
+                .visit_params("", &mut |_, p| wa.extend_from_slice(p.value.data()));
             let mut wb = Vec::new();
-            mb.net.visit_params("", &mut |_, p| wb.extend_from_slice(p.value.data()));
+            mb.net
+                .visit_params("", &mut |_, p| wb.extend_from_slice(p.value.data()));
             assert_eq!(wa, wb, "{}", ma.name);
         }
     }

@@ -89,7 +89,10 @@ impl Tap for StatTap {
         let rms = f64::from(t.rms());
         let max = f64::from(t.max_abs());
         let outliers = if rms > 0.0 {
-            t.data().iter().filter(|&&v| f64::from(v.abs()) > 4.0 * rms).count() as f64
+            t.data()
+                .iter()
+                .filter(|&&v| f64::from(v.abs()) > 4.0 * rms)
+                .count() as f64
                 / t.len() as f64
         } else {
             0.0
@@ -188,7 +191,7 @@ mod tests {
                 + (32 * 36 * 16 * 9)   // conv 16→32 (after pool, 6x6)
                 + (32 * 36 * 32 * 9)   // conv 32→32
                 + (64 * 32 * 9)        // fc 288→64
-                + (10 * 64));          // fc 64→10
+                + (10 * 64)); // fc 64→10
         assert_eq!(p.total_macs(), hand);
         assert_eq!(p.batch, 2);
         assert_eq!(p.macs_per_sample(), hand / 2);

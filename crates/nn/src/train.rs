@@ -188,11 +188,7 @@ impl Default for TrainConfig {
 }
 
 /// Trains `net` as a classifier on `train`; returns per-epoch mean losses.
-pub fn train_classifier(
-    net: &mut dyn Layer,
-    train: &Split,
-    cfg: &TrainConfig,
-) -> Vec<f32> {
+pub fn train_classifier(net: &mut dyn Layer, train: &Split, cfg: &TrainConfig) -> Vec<f32> {
     let mut rng = Rng::new(cfg.seed);
     let mut state = OptState::new();
     let mut losses = Vec::with_capacity(cfg.epochs);
@@ -200,9 +196,7 @@ pub fn train_classifier(
     for epoch in 0..cfg.epochs {
         let progress = epoch as f32 / cfg.epochs.max(1) as f32;
         let lr_scale = cfg.final_lr_frac
-            + (1.0 - cfg.final_lr_frac)
-                * 0.5
-                * (1.0 + (std::f32::consts::PI * progress).cos());
+            + (1.0 - cfg.final_lr_frac) * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
         let order = rng.permutation(n);
         let mut epoch_loss = 0.0;
         let mut batches = 0;

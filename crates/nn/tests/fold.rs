@@ -49,11 +49,7 @@ fn folding_removes_batchnorm_layers() {
     let mut model = mobilenet_v2_t(8, 10, &mut rng);
     assert!(count_kind(&mut model.net, "_bn.") > 0, "model has BNs");
     model.net.fold_bn();
-    assert_eq!(
-        count_kind(&mut model.net, "_bn."),
-        0,
-        "all BNs folded away"
-    );
+    assert_eq!(count_kind(&mut model.net, "_bn."), 0, "all BNs folded away");
 }
 
 #[test]

@@ -1,0 +1,408 @@
+//! A minimal, dependency-free shim of the [proptest](https://crates.io/crates/proptest)
+//! API surface used by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! proptest cannot be fetched. This crate implements just enough of the
+//! same API — the [`proptest!`] macro, range/collection strategies,
+//! `any::<T>()`, `prop_map`, and the `prop_assert*` macros — that the
+//! workspace's property tests compile and run unchanged. Sampling is
+//! deterministic (seeded per test from the test's name) so failures are
+//! reproducible; there is no shrinking.
+
+#![warn(missing_docs)]
+
+/// Deterministic pseudo-random source (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// FNV-1a hash of a string — used to derive per-test seeds.
+#[must_use]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled inputs per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of sampled values, mirroring proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value. `case` is the 0-based case index, letting
+    /// strategies bias early cases toward range edges.
+    fn sample(&self, rng: &mut TestRng, case: u32) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng, case: u32) -> U {
+        (self.f)(self.inner.sample(rng, case))
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($t:ty) => {
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                // Bias the first cases toward the edges of the range.
+                match case {
+                    0 => self.start,
+                    1 => <$t>::from_bits(self.end.to_bits().wrapping_sub(1)).max(self.start),
+                    _ => {
+                        let span = f64::from(self.end) - f64::from(self.start);
+                        (f64::from(self.start) + rng.unit_f64() * span) as $t
+                    }
+                }
+            }
+        }
+    };
+}
+float_range_strategy!(f32);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng, case: u32) -> f64 {
+        match case {
+            0 => self.start,
+            1 => f64::from_bits(self.end.to_bits().wrapping_sub(1)).max(self.start),
+            _ => self.start + rng.unit_f64() * (self.end - self.start),
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                match case {
+                    0 => self.start,
+                    _ => (self.start as i128 + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng, case: u32) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128 - lo as i128 + 1).max(1) as u64;
+                match case {
+                    0 => lo,
+                    1 => hi,
+                    _ => (lo as i128 + rng.below(span) as i128) as $t,
+                }
+            }
+        }
+    )*};
+}
+int_range_strategy!(u16, u32, u64, usize, i32, i64);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Arbitrary for u16 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u16
+    }
+}
+
+/// Strategy producing arbitrary values of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng, _case: u32) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy constructor.
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Numeric sub-strategies (`prop::num::...`).
+pub mod num {
+    /// `f64`-specific strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over normal (non-zero, non-subnormal, finite) `f64`s.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalStrategy;
+
+        /// Samples normal `f64` values of both signs across all magnitudes.
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng, _case: u32) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::...`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+
+    /// Anything usable as a collection size: a fixed count or a range.
+    pub trait IntoSizeRange {
+        /// Inclusive (lo, hi) size bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1).max(self.start))
+        }
+    }
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng, case: u32) -> Vec<S::Value> {
+            let n = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            (0..n)
+                .map(|i| self.element.sample(rng, case.wrapping_add(i as u32 + 2)))
+                .collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+}
+
+/// The standard proptest prelude.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each function runs its body over sampled
+/// inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion rule — must precede the catch-all below, or the
+    // catch-all re-matches `@cfg ...` input and recurses forever.
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::TestRng::seeded($crate::seed_from_name(stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::Strategy::sample(&($strat), &mut __rng, __case);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::seeded(7);
+        let mut b = crate::TestRng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1usize..10, k in -3i32..=2) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-3..=2).contains(&k));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0.0f32..1.0, 3..=5)) {
+            prop_assert!(v.len() >= 3 && v.len() <= 5);
+            for x in v {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn normal_is_normal(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+
+        #[test]
+        fn map_applies(t in prop::collection::vec(1.0f32..2.0, 4).prop_map(|v| v.len())) {
+            prop_assert_eq!(t, 4);
+        }
+    }
+}

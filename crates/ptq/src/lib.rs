@@ -49,10 +49,12 @@ pub mod rmse;
 
 pub use accuracy::{evaluate_model, render_table, EvalRow, FormatScore, Metric};
 pub use calibrate::{calibrate, Calibration, INPUT_PATH};
-pub use executor::{evaluate_format, predict_quantized, quantize_weights, QuantTap, WeightSnapshot};
+pub use executor::{
+    evaluate_format, predict_quantized, quantize_weights, QuantTap, WeightSnapshot,
+};
 pub use other_formats::{quantize_adaptivfloat, quantize_bfp};
 pub use quantizer::{
-    scale_anchor,
-    channel_max_abs, quantize_per_channel, quantize_tensor, relative_rmse, scale_for,
+    channel_max_abs, quantize_per_channel, quantize_slice, quantize_tensor, relative_rmse,
+    scale_anchor, scale_for,
 };
 pub use rmse::{activation_rmse, rmse_report, weight_rmse, RmseReport};

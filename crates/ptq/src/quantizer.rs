@@ -6,8 +6,12 @@
 //! `scale = max|x| / max_finite`, then every element is rounded through the
 //! format and scaled back.
 
-use mersit_core::{Format, PrecisionProfile, ValueClass};
-use mersit_tensor::Tensor;
+use mersit_core::{Format, QuantLut, LUT_MIN_LEN};
+use mersit_tensor::{par, Tensor};
+
+/// Rough cost (in elementary ops) of one scalar `Format::quantize` round
+/// trip, used to size per-thread work in the parallel splits below.
+const SCALAR_QUANT_COST: usize = 64;
 
 /// The value the data maximum is mapped onto: the **largest representable
 /// value inside the format's full-precision band** (the highest binade
@@ -22,28 +26,25 @@ use mersit_tensor::Tensor;
 ///   the §3.2 precision-band argument made operational.
 #[must_use]
 pub fn scale_anchor(fmt: &dyn Format) -> f64 {
-    let profile = PrecisionProfile::of(fmt);
-    let best = profile.max_frac_bits();
-    let top_exp = profile
-        .binades
-        .iter()
-        .filter(|b| b.frac_bits == best)
-        .map(|b| b.exp)
-        .max()
-        .expect("non-empty profile");
-    // Largest finite lattice value within that binade.
-    let mut anchor = 0.0f64;
-    for code in fmt.codes() {
-        let code = code as u16;
-        if fmt.classify(code) != ValueClass::Finite {
-            continue;
-        }
-        let v = fmt.decode(code);
-        if v > 0.0 && (v.log2().floor() as i32) == top_exp && v > anchor {
-            anchor = v;
+    // Delegates to the format, which memoizes the code-space sweep behind
+    // a `OnceLock` so repeated calls (one per layer per batch) are free.
+    fmt.scale_anchor()
+}
+
+/// Fake-quantizes a slice in place: `x ← quantize(x / scale) · scale` for
+/// every element, through the format's batched [`QuantLut`] codec when the
+/// slice is long enough to amortize the table build, and across threads
+/// when long enough to amortize the spawns. Bit-identical to the scalar
+/// element loop in every case.
+pub fn quantize_slice(fmt: &dyn Format, xs: &mut [f32], scale: f64) {
+    if xs.len() >= LUT_MIN_LEN && QuantLut::supports(scale) {
+        if let Some(lut) = QuantLut::build(&fmt.quant_spec(), scale) {
+            // Build the table once, share it read-only across threads.
+            par::par_chunks_mut(xs, 1, par::min_units(8), |_, chunk| lut.apply(chunk));
+            return;
         }
     }
-    anchor
+    fmt.quantize_slice(xs, scale);
 }
 
 /// Scale that maps `max_abs` onto [`scale_anchor`].
@@ -61,7 +62,9 @@ pub fn scale_for(fmt: &dyn Format, max_abs: f32) -> f64 {
 /// the paper's activation scheme).
 #[must_use]
 pub fn quantize_tensor(fmt: &dyn Format, t: &Tensor, scale: f64) -> Tensor {
-    t.map(|x| (fmt.quantize(f64::from(x) / scale) * scale) as f32)
+    let mut out = t.clone();
+    quantize_slice(fmt, out.data_mut(), scale);
+    out
 }
 
 /// Per-outermost-dimension max-abs values (per-output-channel statistics
@@ -84,21 +87,31 @@ pub fn channel_max_abs(t: &Tensor) -> Vec<f32> {
 #[must_use]
 pub fn quantize_per_channel(fmt: &dyn Format, t: &Tensor) -> Tensor {
     let maxes = channel_max_abs(t);
-    let oc = t.shape()[0];
     let inner: usize = t.shape()[1..].iter().product();
     let mut out = t.clone();
-    // The anchor is a per-format constant; hoist it out of the channel loop.
-    let anchor = scale_anchor(fmt);
-    for c in 0..oc {
-        let s = if maxes[c] <= 0.0 {
-            1.0
-        } else {
-            f64::from(maxes[c]) / anchor
-        };
-        for v in &mut out.data_mut()[c * inner..(c + 1) * inner] {
-            *v = (fmt.quantize(f64::from(*v) / s) * s) as f32;
-        }
+    if inner == 0 {
+        return out;
     }
+    // The anchor is a per-format constant; hoist it out of the channel loop.
+    let anchor = fmt.scale_anchor();
+    let scales: Vec<f64> = maxes
+        .iter()
+        .map(|&m| if m <= 0.0 { 1.0 } else { f64::from(m) / anchor })
+        .collect();
+    let scales = &scales;
+    // Channels are independent (each has its own scale), so the channel
+    // range is split across threads; within a channel the format's slice
+    // codec picks the LUT path when the channel is long enough.
+    par::par_chunks_mut(
+        out.data_mut(),
+        inner,
+        par::min_units(inner.saturating_mul(SCALAR_QUANT_COST)),
+        |c0, chunk| {
+            for (dc, ch) in chunk.chunks_mut(inner).enumerate() {
+                fmt.quantize_slice(ch, scales[c0 + dc]);
+            }
+        },
+    );
     out
 }
 
@@ -182,6 +195,52 @@ mod tests {
         let e_g = relative_rmse(&quantize_tensor(good.as_ref(), &t, s_g), &t);
         let e_b = relative_rmse(&quantize_tensor(bad.as_ref(), &t, s_b), &t);
         assert!(e_g < e_b, "MERSIT {e_g} vs FP(8,5) {e_b}");
+    }
+
+    #[test]
+    fn engine_bit_identical_to_scalar_formula() {
+        // The batched engine (LUT + threads for big tensors, scalar for
+        // small ones) must reproduce the original per-element expression
+        // exactly, for every registry format.
+        let mut rng = Rng::new(11);
+        let small = Tensor::randn(&[100], 1.5, &mut rng);
+        let large = Tensor::randn(&[20_000], 1.5, &mut rng);
+        for fmt in mersit_core::table2_formats() {
+            let fmt = fmt.as_ref();
+            for t in [&small, &large] {
+                let s = scale_for(fmt, t.max_abs());
+                let q = quantize_tensor(fmt, t, s);
+                for (&got, &x) in q.data().iter().zip(t.data()) {
+                    let want = (fmt.quantize(f64::from(x) / s) * s) as f32;
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{} x={x} got={got} want={want}",
+                        fmt.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_channel_bit_identical_to_scalar_loop() {
+        let mut rng = Rng::new(13);
+        // 6 channels of 2000: long enough to engage the LUT per channel.
+        let t = Tensor::randn(&[6, 2000], 3.0, &mut rng);
+        let fmt = parse_format("MERSIT(8,2)").unwrap();
+        let fmt = fmt.as_ref();
+        let q = quantize_per_channel(fmt, &t);
+        let maxes = channel_max_abs(&t);
+        let anchor = scale_anchor(fmt);
+        for c in 0..6 {
+            let s = f64::from(maxes[c]) / anchor;
+            for j in 0..2000 {
+                let x = t.at(&[c, j]);
+                let want = (fmt.quantize(f64::from(x) / s) * s) as f32;
+                assert_eq!(q.at(&[c, j]).to_bits(), want.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -9,8 +9,7 @@ use mersit_tensor::Tensor;
 use proptest::prelude::*;
 
 fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-100.0f32..100.0, n..=n)
-        .prop_map(move |v| Tensor::from_vec(v, &[n]))
+    prop::collection::vec(-100.0f32..100.0, n..=n).prop_map(move |v| Tensor::from_vec(v, &[n]))
 }
 
 proptest! {

@@ -6,6 +6,7 @@
 //! `[OC, C·KH·KW]` (already flattened for im2col matmuls), depthwise
 //! weights are `[C, KH, KW]`.
 
+use crate::par;
 use crate::tensor::Tensor;
 
 /// Convolution geometry.
@@ -56,28 +57,28 @@ pub fn im2col(x: &Tensor, spec: &ConvSpec) -> Tensor {
     let ckk = c * spec.kh * spec.kw;
     let mut out = vec![0.0f32; n * oh * ow * ckk];
     let xd = x.data();
-    let mut row = 0;
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let base = row * ckk;
-                for ci in 0..c {
-                    for ky in 0..spec.kh {
-                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
-                        for kx in 0..spec.kw {
-                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                            let col = (ci * spec.kh + ky) * spec.kw + kx;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out[base + col] = xd
-                                    [((ni * c + ci) * h + iy as usize) * w + ix as usize];
-                            }
+    // Each output row is one `(n, oh, ow)` patch, filled independently of
+    // every other row, so flat row ranges split cleanly across threads.
+    par::par_chunks_mut(&mut out, ckk, par::min_units(ckk), |row0, chunk| {
+        for (dr, orow) in chunk.chunks_mut(ckk).enumerate() {
+            let row = row0 + dr;
+            let ni = row / (oh * ow);
+            let oy = row / ow % oh;
+            let ox = row % ow;
+            for ci in 0..c {
+                for ky in 0..spec.kh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                    for kx in 0..spec.kw {
+                        let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                        let col = (ci * spec.kh + ky) * spec.kw + kx;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            orow[col] = xd[((ni * c + ci) * h + iy as usize) * w + ix as usize];
                         }
                     }
                 }
-                row += 1;
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n * oh * ow, ckk])
 }
 
@@ -462,20 +463,13 @@ mod tests {
                         for ci in 0..c {
                             for ky in 0..spec.kh {
                                 for kx in 0..spec.kw {
-                                    let iy =
-                                        (oy * spec.stride + ky) as isize - spec.pad as isize;
-                                    let ix =
-                                        (ox * spec.stride + kx) as isize - spec.pad as isize;
-                                    if iy < 0
-                                        || ix < 0
-                                        || iy as usize >= h
-                                        || ix as usize >= ww
-                                    {
+                                    let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                                    let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                                    if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= ww {
                                         continue;
                                     }
                                     let wv = w.at(&[co, (ci * spec.kh + ky) * spec.kw + kx]);
-                                    s += wv
-                                        * x.at(&[ni, ci, iy as usize, ix as usize]);
+                                    s += wv * x.at(&[ni, ci, iy as usize, ix as usize]);
                                 }
                             }
                         }
@@ -556,8 +550,8 @@ mod tests {
                                 if iy < 0 || ix < 0 || iy >= 6 || ix >= 6 {
                                     continue;
                                 }
-                                s += x.at(&[ni, ci, iy as usize, ix as usize])
-                                    * w.at(&[ci, ky, kx]);
+                                s +=
+                                    x.at(&[ni, ci, iy as usize, ix as usize]) * w.at(&[ci, ky, kx]);
                             }
                         }
                         assert!((got.at(&[ni, ci, oy, ox]) - s).abs() < 1e-4);

@@ -1,0 +1,172 @@
+//! Scoped-thread fan-out over contiguous chunks of a mutable slice.
+//!
+//! The kernels in this crate (matmul, im2col, elementwise map) all write
+//! disjoint regions of one output buffer, each region a whole number of
+//! fixed-size *units* (a matrix row, an im2col row, a single element).
+//! [`par_chunks_mut`] splits the buffer into per-thread chunks along unit
+//! boundaries and runs them under [`std::thread::scope`] — no external
+//! dependencies, no persistent pool.
+//!
+//! Every unit's value depends only on that unit's inputs, so the result is
+//! bit-identical for every thread count, including 1 (which runs inline on
+//! the caller's thread, reproducing the serial kernels exactly).
+//!
+//! The thread count comes from the `MERSIT_THREADS` environment variable,
+//! defaulting to the machine's available parallelism.
+
+use std::env;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Approximate number of elementary operations worth shipping to a worker
+/// thread; below this, spawn overhead dominates.
+const PAR_WORK_TARGET: usize = 1 << 16;
+
+/// Minimum units per thread so that each thread gets roughly
+/// [`PAR_WORK_TARGET`] operations, given the per-unit cost.
+#[must_use]
+pub fn min_units(work_per_unit: usize) -> usize {
+    (PAR_WORK_TARGET / work_per_unit.max(1)).max(1)
+}
+
+/// Worker-thread count: `MERSIT_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism. `1` disables threading.
+#[must_use]
+pub fn thread_count() -> usize {
+    if let Ok(v) = env::var("MERSIT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Splits `data` into contiguous chunks of whole `unit`-sized blocks and
+/// runs `f(first_unit_index, chunk)` on scoped threads, using
+/// [`thread_count`] workers (capped so each gets at least
+/// `min_units_per_thread` units).
+///
+/// # Panics
+///
+/// Panics if `unit` is zero or does not divide `data.len()`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], unit: usize, min_units_per_thread: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut_with(thread_count(), data, unit, min_units_per_thread, f);
+}
+
+/// [`par_chunks_mut`] with an explicit thread count (used by tests and
+/// benchmarks to compare scaling without touching the environment).
+///
+/// # Panics
+///
+/// Panics if `unit` is zero or does not divide `data.len()`.
+pub fn par_chunks_mut_with<T, F>(
+    threads: usize,
+    data: &mut [T],
+    unit: usize,
+    min_units_per_thread: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "unit size must be positive");
+    assert!(
+        data.len().is_multiple_of(unit),
+        "buffer of {} elements is not whole units of {unit}",
+        data.len()
+    );
+    let units = data.len() / unit;
+    let by_work = units / min_units_per_thread.max(1);
+    let threads = threads.min(by_work).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let per = units.div_ceil(threads);
+    let f = &f;
+    thread::scope(|s| {
+        let mut rest = data;
+        let mut start_unit = 0;
+        while !rest.is_empty() {
+            let take = per.min(rest.len() / unit) * unit;
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let first = start_unit;
+            s.spawn(move || f(first, chunk));
+            start_unit += take / unit;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_unit_exactly_once() {
+        for threads in [1, 2, 3, 7, 16] {
+            let mut data = vec![0u32; 12 * 5];
+            par_chunks_mut_with(threads, &mut data, 5, 1, |first, chunk| {
+                for (u, block) in chunk.chunks_mut(5).enumerate() {
+                    for (j, x) in block.iter_mut().enumerate() {
+                        *x += ((first + u) * 5 + j) as u32 + 1;
+                    }
+                }
+            });
+            let want: Vec<u32> = (1..=60).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut data = vec![0.0f32; 1000];
+            par_chunks_mut_with(threads, &mut data, 1, 1, |first, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = ((first + i) as f32).sin();
+                }
+            });
+            data
+        };
+        let base = run(1);
+        for threads in [2, 3, 5, 13] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn min_units_caps_parallelism() {
+        // 10 units, but each thread must get at least 6 → single thread.
+        let mut data = vec![0u8; 10];
+        par_chunks_mut_with(8, &mut data, 1, 6, |first, chunk| {
+            // With one thread the whole slice arrives at once.
+            assert_eq!(first, 0);
+            assert_eq!(chunk.len(), 10);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not whole units")]
+    fn ragged_buffer_panics() {
+        let mut data = vec![0u8; 7];
+        par_chunks_mut_with(2, &mut data, 2, 1, |_, _| {});
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn min_units_scales_inversely_with_work() {
+        assert_eq!(min_units(usize::MAX), 1);
+        assert!(min_units(1) > min_units(1024));
+    }
+}

@@ -1,8 +1,14 @@
 //! A minimal dense `f32` tensor: row-major contiguous storage with shape
 //! metadata — just enough to run and train the paper's miniature DNNs.
 
+use crate::par;
 use crate::rng::Rng;
 use std::fmt;
+
+/// Square tile edge for the blocked transpose: 32×32 f32 tiles (4 KiB for
+/// the source walk plus 4 KiB for the destination walk) sit comfortably in
+/// L1 while keeping both access patterns within-tile sequential.
+const TRANSPOSE_TILE: usize = 32;
 
 /// Dense row-major `f32` tensor.
 ///
@@ -171,19 +177,33 @@ impl Tensor {
     }
 
     /// Elementwise map into a new tensor.
+    ///
+    /// Large tensors are mapped on multiple threads (see [`crate::par`]);
+    /// elements are independent, so the result is identical for any thread
+    /// count.
     #[must_use]
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let mut out = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        par::par_chunks_mut(&mut out, 1, par::min_units(4), |first, chunk| {
+            let src = &src[first..first + chunk.len()];
+            for (o, &x) in chunk.iter_mut().zip(src) {
+                *o = f(x);
+            }
+        });
         Self {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: out,
             shape: self.shape.clone(),
         }
     }
 
-    /// In-place elementwise map.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    /// In-place elementwise map (multi-threaded for large tensors).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        par::par_chunks_mut(&mut self.data, 1, par::min_units(4), |_, chunk| {
+            for x in chunk {
+                *x = f(*x);
+            }
+        });
     }
 
     /// Elementwise combination of two equally shaped tensors.
@@ -286,20 +306,25 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: streams the rhs row-wise (cache friendly).
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
+        let lhs = &self.data;
+        let rhs = &other.data;
+        // Output rows are independent, so the row range is split across
+        // threads; each row accumulates in the same k order regardless of
+        // the split, keeping results bit-identical for any thread count.
+        par::par_chunks_mut(&mut out, n, par::min_units(2 * k * n), |i0, chunk| {
+            for (di, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = i0 + di;
+                let arow = &lhs[i * k..(i + 1) * k];
+                // i-k-j loop order: streams the rhs row-wise (cache
+                // friendly) with a branch-free inner loop.
+                for (kk, &a) in arow.iter().enumerate() {
+                    let brow = &rhs[kk * n..(kk + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Self {
             data: out,
             shape: vec![m, n],
@@ -316,9 +341,18 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "transpose needs rank 2");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+        // Walk the matrix in square tiles so both the row-major reads and
+        // the column-major writes stay within one cache-resident tile,
+        // instead of striding the full destination every element.
+        for ib in (0..m).step_by(TRANSPOSE_TILE) {
+            let iend = (ib + TRANSPOSE_TILE).min(m);
+            for jb in (0..n).step_by(TRANSPOSE_TILE) {
+                let jend = (jb + TRANSPOSE_TILE).min(n);
+                for i in ib..iend {
+                    for j in jb..jend {
+                        out[j * m + i] = self.data[i * n + j];
+                    }
+                }
             }
         }
         Self {
@@ -427,11 +461,84 @@ mod tests {
     }
 
     #[test]
+    fn matmul_zero_inputs_give_exact_zeros() {
+        // The accumulator is branch-free now (no `a == 0.0` skip); a zero
+        // operand must still produce bit-exact +0.0 everywhere.
+        let mut rng = Rng::new(17);
+        let z = Tensor::zeros(&[9, 13]);
+        let b = Tensor::randn(&[13, 6], 1.0, &mut rng);
+        for &v in z.matmul(&b).data() {
+            assert_eq!(v.to_bits(), 0.0f32.to_bits());
+        }
+        let a = Tensor::randn(&[9, 13], 1.0, &mut rng);
+        let zb = Tensor::zeros(&[13, 6]);
+        for &v in a.matmul(&zb).data() {
+            assert_eq!(v.to_bits(), 0.0f32.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bit_exact_vs_serial_reference() {
+        // Re-derive each output element with the same i-k-j accumulation
+        // order the kernel uses; the parallel split must not change a bit.
+        let mut rng = Rng::new(23);
+        let (m, k, n) = (33, 17, 29);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let c = a.matmul(&b);
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.at(&[i, kk]);
+                for j in 0..n {
+                    want[i * n + j] += av * b.at(&[kk, j]);
+                }
+            }
+        }
+        for (got, want) in c.data().iter().zip(&want) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose_blocked_matches_naive() {
+        // Shapes chosen to exercise full tiles, ragged edges, and the
+        // degenerate thin cases.
+        let mut rng = Rng::new(31);
+        for &(m, n) in &[(1, 1), (1, 70), (70, 1), (32, 32), (33, 65), (100, 37)] {
+            let a = Tensor::randn(&[m, n], 1.0, &mut rng);
+            let t = a.transpose();
+            assert_eq!(t.shape(), &[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(t.at(&[j, i]).to_bits(), a.at(&[i, j]).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
     fn transpose_round_trip() {
         let mut rng = Rng::new(6);
         let a = Tensor::randn(&[4, 9], 1.0, &mut rng);
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().at(&[3, 1]), a.at(&[1, 3]));
+    }
+
+    #[test]
+    fn map_large_bit_exact_vs_serial() {
+        // Large enough to cross the parallel threshold in par::min_units.
+        let mut rng = Rng::new(37);
+        let a = Tensor::randn(&[200_000], 1.0, &mut rng);
+        let f = |x: f32| (x * 1.5 + 0.25).tanh();
+        let mapped = a.map(f);
+        let mut inplace = a.clone();
+        inplace.map_inplace(f);
+        for ((&g, &h), &x) in mapped.data().iter().zip(inplace.data()).zip(a.data()) {
+            let want = f(x).to_bits();
+            assert_eq!(g.to_bits(), want);
+            assert_eq!(h.to_bits(), want);
+        }
     }
 
     #[test]

@@ -36,23 +36,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {}", p.ascii_row(p.exp_min(), p.exp_max()));
 
     // MERSIT gets its full Table-1-style decoding table.
-    if let Ok(m) = name.to_uppercase().strip_prefix("MERSIT(").map_or(
-        Err(()),
-        |args| {
+    if let Ok(m) = name
+        .to_uppercase()
+        .strip_prefix("MERSIT(")
+        .map_or(Err(()), |args| {
             let args = args.trim_end_matches(')');
             let mut it = args.split(',');
             let b: u32 = it.next().and_then(|s| s.trim().parse().ok()).ok_or(())?;
             let e: u32 = it.next().and_then(|s| s.trim().parse().ok()).ok_or(())?;
             Mersit::new(b, e).map_err(|_| ())
-        },
-    ) {
+        })
+    {
         println!("\n{}", render_mersit_table(&m));
     }
 
     // Code-space census.
     let dump = code_dump(fmt.as_ref());
     let count = |c: ValueClass| dump.iter().filter(|r| r.class == c).count();
-    println!("code space: {} finite, {} zero, {} inf, {} nan",
+    println!(
+        "code space: {} finite, {} zero, {} inf, {} nan",
         count(ValueClass::Finite),
         count(ValueClass::Zero),
         count(ValueClass::Infinite),

@@ -6,7 +6,9 @@
 
 use mersit_core::parse_format;
 use mersit_nn::models::bert_t;
-use mersit_nn::{glue_like, train_classifier, GlueTask, Optimizer, TrainConfig, GLUE_SEQ_LEN, GLUE_VOCAB};
+use mersit_nn::{
+    glue_like, train_classifier, GlueTask, Optimizer, TrainConfig, GLUE_SEQ_LEN, GLUE_VOCAB,
+};
 use mersit_ptq::{evaluate_model, Metric};
 use mersit_tensor::Rng;
 
@@ -16,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = bert_t(GLUE_VOCAB, GLUE_SEQ_LEN, 32, ds.num_classes, &mut rng);
     println!(
         "training {} on {} ({} train sequences, 5% calibration split)...",
-        model.name, ds.name, ds.train.len()
+        model.name,
+        ds.name,
+        ds.train.len()
     );
     let cfg = TrainConfig {
         epochs: 8,
@@ -25,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     };
     let losses = train_classifier(&mut model.net, &ds.train, &cfg);
-    println!("  loss: {:.3} -> {:.3}", losses[0], losses[losses.len() - 1]);
+    println!(
+        "  loss: {:.3} -> {:.3}",
+        losses[0],
+        losses[losses.len() - 1]
+    );
 
     // Token ids are never quantized (InputKind::Tokens); activations are
     // quantized at every encoder-internal tap (LayerNorm outputs, attention

@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v = to_verilog(&mac.netlist);
     let path = "target/mac_mersit82.v";
     std::fs::write(path, &v)?;
-    println!("\nstructural Verilog written to {path} ({} lines)", v.lines().count());
+    println!(
+        "\nstructural Verilog written to {path} ({} lines)",
+        v.lines().count()
+    );
     Ok(())
 }

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainConfig::default()
     };
     let losses = train_classifier(&mut model.net, &ds.train, &cfg);
-    println!("  loss: {:.3} -> {:.3}", losses[0], losses[losses.len() - 1]);
+    println!(
+        "  loss: {:.3} -> {:.3}",
+        losses[0],
+        losses[losses.len() - 1]
+    );
 
     // 3. PTQ: calibrate once, evaluate each format.
     let formats = vec![

@@ -112,10 +112,7 @@ fn quantized_hardware_dot_product_tracks_fp32() {
     }
     let got = mac.acc_value(sim.get_signed(&mac.acc));
     // 32 products of unit-range values: quantization error stays small.
-    assert!(
-        (got - fp32).abs() < 0.25,
-        "quantized {got} vs fp32 {fp32}"
-    );
+    assert!((got - fp32).abs() < 0.25, "quantized {got} vs fp32 {fp32}");
 }
 
 /// Closed datapath loop: gate-level MAC → gate-level requantizer → decode

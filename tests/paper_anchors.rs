@@ -72,8 +72,7 @@ fn section32_precision_band_comparison() {
 /// narrower band than Posit(8,1)/FP(8,4) — the paper's explanation for
 /// MERSIT's lower switching power.
 #[test]
-fn section43_fraction_bearing_range()
-{
+fn section43_fraction_bearing_range() {
     let m = Mersit::new(8, 2).unwrap();
     let mut lo = f64::INFINITY;
     let mut hi: f64 = 0.0;
