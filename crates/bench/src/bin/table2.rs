@@ -36,6 +36,7 @@ struct Sizes {
 }
 
 fn main() {
+    mersit_obs::init_from_env();
     let quick = std::env::args().any(|a| a == "--quick");
     let s = if quick {
         Sizes {
@@ -132,4 +133,8 @@ fn main() {
     println!("    the h-swish/SiLU/SE models and degrade on GLUE;");
     println!("  * wide-range low-precision formats (FP(8,5), Posit(8,3)) lag on");
     println!("    precision-sensitive depthwise models.");
+
+    if let Ok(Some(path)) = mersit_obs::report::write_global_report("table2") {
+        println!("wrote {path}");
+    }
 }

@@ -14,6 +14,7 @@ use mersit_core::parse_format;
 use mersit_hw::{decoder_for, multiplier_cost, MultiplierBreakdown};
 
 fn main() {
+    mersit_obs::init_from_env();
     let ops = trained_dnn_operands(0x7AB3, 4000);
     let names = ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"];
     let rows: Vec<MultiplierBreakdown> = names
@@ -67,4 +68,8 @@ fn main() {
     println!();
     println!("MERSIT(8,2) decoder saves {dec_saving:.1}% area vs Posit(8,1)  (paper: 59.2%)");
     println!("Paper Table 3 (um^2): decoder 434/830/338, exp-adder 46/54/54, frac-mul 128/216/216");
+
+    if let Ok(Some(path)) = mersit_obs::report::write_global_report("table3") {
+        println!("wrote {path}");
+    }
 }

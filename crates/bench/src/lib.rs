@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 #![allow(clippy::cast_precision_loss, clippy::must_use_candidate)]
 
+pub mod perf;
+
 use mersit_core::Format;
 use mersit_nn::models::vgg_t;
 use mersit_nn::{synthetic_images, train_classifier, Ctx, Dataset, Layer, Model, Tap, TrainConfig};

@@ -1,4 +1,5 @@
-//! Throughput trajectory of the batched quantization engine.
+//! Throughput trajectory of the batched quantization engine (the
+//! `perf_ptq` binary's engine room).
 //!
 //! Fake-quantizes a ≥1M-element activation buffer through every Table 2
 //! format along three paths — the scalar `Format::quantize` loop, the
@@ -6,7 +7,11 @@
 //! and writes the elements/sec results to `BENCH_ptq.json` so future
 //! optimizations have a baseline to beat.
 //!
-//! Usage: `perf_ptq [n_elements]` (default 2^21 ≈ 2.1M).
+//! With `MERSIT_OBS=1`, each format × path measurement additionally
+//! records a `bench.perf.<path>.<format>` span and the run ends by
+//! writing `OBS_perf_ptq.json` (see [`mersit_obs::report`]). The
+//! measured buffers are identical either way: instrumentation only
+//! observes.
 
 use mersit_core::{quantize_slice_scalar, table2_formats, Format, QuantLut};
 use mersit_tensor::par;
@@ -15,7 +20,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Deterministic Gaussian-ish activation buffer (sum of four uniforms).
-fn workload(n: usize) -> Vec<f32> {
+#[must_use]
+pub fn workload(n: usize) -> Vec<f32> {
     let mut state = 0x9e37_79b9_7f4a_7c15u64;
     let mut next = move || {
         state = state
@@ -45,23 +51,35 @@ fn best_rate(src: &[f32], reps: usize, mut f: impl FnMut(&mut [f32])) -> f64 {
     best
 }
 
-struct Row {
-    format: String,
-    scalar: f64,
-    lut: f64,
-    lut_threads: f64,
+/// One format's measured rates (elements/sec) along the three paths.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Format name.
+    pub format: String,
+    /// Scalar `Format::quantize` loop.
+    pub scalar: f64,
+    /// Single-threaded `QuantLut` codec.
+    pub lut: f64,
+    /// LUT with thread fan-out.
+    pub lut_threads: f64,
 }
 
-fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1 << 21);
+/// Runs the full sweep, prints the human-readable table, writes
+/// `BENCH_ptq.json`, and returns the rows.
+///
+/// # Panics
+///
+/// Panics if `n < 2^20` (the measurement is too noisy below ~1M
+/// elements) or if `BENCH_ptq.json` cannot be written.
+pub fn run_perf_ptq(n: usize) -> Vec<PerfRow> {
     assert!(n >= 1 << 20, "need at least 1M elements for a stable read");
     let threads = par::thread_count();
     let src = workload(n);
     let scale = 0.037; // typical activation scale
     let reps = 3;
+
+    mersit_obs::add("bench.perf.elements", n as u64);
+    mersit_obs::add("bench.perf.threads", threads as u64);
 
     println!("perf_ptq: {n} elements, {threads} threads, scale {scale}");
     println!(
@@ -74,13 +92,22 @@ fn main() {
         let fmt: &dyn Format = fmt.as_ref();
         let spec = fmt.quant_spec();
         let lut = QuantLut::build(&spec, scale).expect("supported scale");
-        let scalar = best_rate(&src, reps, |buf| {
-            quantize_slice_scalar(fmt, buf, scale);
-        });
-        let lut_rate = best_rate(&src, reps, |buf| lut.apply(buf));
-        let thr_rate = best_rate(&src, reps, |buf| {
-            par::par_chunks_mut(buf, 1, par::min_units(8), |_, chunk| lut.apply(chunk));
-        });
+        let scalar = {
+            let _span = mersit_obs::span_dyn(|| format!("bench.perf.scalar.{}", fmt.name()));
+            best_rate(&src, reps, |buf| {
+                quantize_slice_scalar(fmt, buf, scale);
+            })
+        };
+        let lut_rate = {
+            let _span = mersit_obs::span_dyn(|| format!("bench.perf.lut.{}", fmt.name()));
+            best_rate(&src, reps, |buf| lut.apply(buf))
+        };
+        let thr_rate = {
+            let _span = mersit_obs::span_dyn(|| format!("bench.perf.lut_threads.{}", fmt.name()));
+            best_rate(&src, reps, |buf| {
+                par::par_chunks_mut(buf, 1, par::min_units(8), |_, chunk| lut.apply(chunk));
+            })
+        };
         println!(
             "{:<14} {:>14.3e} {:>14.3e} {:>14.3e} {:>7.1}x {:>9.1}x",
             fmt.name(),
@@ -90,7 +117,7 @@ fn main() {
             lut_rate / scalar,
             thr_rate / scalar
         );
-        rows.push(Row {
+        rows.push(PerfRow {
             format: fmt.name(),
             scalar,
             lut: lut_rate,
@@ -124,4 +151,5 @@ fn main() {
 
     let best = rows.iter().map(|r| r.lut / r.scalar).fold(0.0f64, f64::max);
     println!("best single-threaded LUT speedup: {best:.1}x");
+    rows
 }

@@ -41,6 +41,12 @@ use std::sync::Arc;
 /// assert_eq!(m.max_finite(), 2.0_f64.powi(8));
 /// // 1 00 xxxx with ks=1 is k=0: 1.0 is 0b0_1_00_0000
 /// assert_eq!(m.decode(0b0_1_00_0000), 1.0);
+///
+/// // Round-to-nearest encode; exactly representable values round-trip.
+/// let code = m.encode(0.75);
+/// assert_eq!(m.decode(code), 0.75);
+/// // Off-lattice inputs land on the nearest representable neighbor.
+/// assert!((m.decode(m.encode(0.7)) - 0.7).abs() < 0.05);
 /// # Ok::<(), mersit_core::InvalidFormatError>(())
 /// ```
 #[derive(Debug, Clone)]

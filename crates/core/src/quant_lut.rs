@@ -23,10 +23,41 @@
 //!   the top exponent byte, and a short `u32` search: no division, no
 //!   virtual dispatch, no `f64` at all.
 //!
-//! Bit-exactness with the scalar path — including tie rules, underflow
-//! policy, saturation, `-0.0`, infinities and NaN — is asserted by the
-//! in-module sweep tests and by the cross-format property tests in
-//! `tests/quant_slice_props.rs`.
+//! # Invariants
+//!
+//! * **Bit-exactness with the scalar path** — including tie rules,
+//!   underflow policy, saturation, `-0.0`, infinities and NaN — is the
+//!   load-bearing contract: callers may freely switch between
+//!   `Format::quantize_slice`, a [`QuantLut`], and the threaded fan-out in
+//!   `mersit_tensor::par` without changing a single output bit. Asserted
+//!   by the in-module sweep tests and by the cross-format property tests
+//!   in `tests/quant_slice_props.rs`.
+//! * **Region membership is exact by construction**: every cut is placed
+//!   by bisection over f32 bit patterns using the *same* `f64` expression
+//!   the scalar path evaluates, never by closed-form analysis that could
+//!   disagree in the last ulp.
+//! * **`build` is total over supported scales**: [`QuantLut::supports`]
+//!   gates the finite, positive, normal scales; within that domain `build`
+//!   returns `Some` for every registry format.
+//!
+//! # Example
+//!
+//! ```
+//! use mersit_core::{Format, Mersit, QuantLut};
+//!
+//! let fmt = Mersit::new(8, 2)?;
+//! let scale = 0.05;
+//! let lut = QuantLut::build(&fmt.quant_spec(), scale).expect("supported scale");
+//!
+//! let mut xs = vec![0.1f32, -0.37, 0.002, 3.9];
+//! let reference: Vec<f32> = xs
+//!     .iter()
+//!     .map(|&x| (fmt.quantize(f64::from(x) / scale) * scale) as f32)
+//!     .collect();
+//! lut.apply(&mut xs);
+//! assert_eq!(xs, reference); // bit-identical to the scalar loop
+//! # Ok::<(), mersit_core::InvalidFormatError>(())
+//! ```
 
 use crate::fields::ValueClass;
 use crate::format::{Format, UnderflowPolicy};

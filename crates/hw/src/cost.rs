@@ -119,6 +119,8 @@ fn costs(area: &AreaReport, power: &PowerReport, prefix: &str) -> BlockCost {
 #[must_use]
 pub fn multiplier_cost(dec: &dyn Decoder, stream: &[(u16, u16)]) -> MultiplierBreakdown {
     assert!(!stream.is_empty(), "empty operand stream");
+    let _span = mersit_obs::span_dyn(|| format!("hw.cost.multiplier.{}", dec.name()));
+    mersit_obs::add("hw.cost.sim_steps", stream.len() as u64);
     let (nl, w, a, _) = standalone_multiplier(dec);
     let mut sim = Simulator::new(&nl);
     for &(wc, ac) in stream {
@@ -169,6 +171,8 @@ pub fn mac_cost_with_margin(
 ) -> MacBreakdown {
     assert!(!stream.is_empty(), "empty operand stream");
     assert!(dot_len > 0, "dot_len must be positive");
+    let _span = mersit_obs::span_dyn(|| format!("hw.cost.mac.{}", dec.name()));
+    mersit_obs::add("hw.cost.sim_steps", stream.len() as u64);
     let mac = MacUnit::build_with_margin(dec, v_ovf);
     let mut sim = Simulator::new(&mac.netlist);
     sim.reset();

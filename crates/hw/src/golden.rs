@@ -46,8 +46,10 @@ impl<'a> GoldenMac<'a> {
         if self.fmt.classify(w_code) != ValueClass::Finite
             || self.fmt.classify(a_code) != ValueClass::Finite
         {
+            mersit_obs::incr("hw.golden.special_skipped");
             return; // zero or special-gated: no contribution
         }
+        mersit_obs::incr("hw.golden.mac_ops");
         let dw = self.fmt.fields(w_code).expect("finite");
         let da = self.fmt.fields(a_code).expect("finite");
         let shift = dw.exp_eff + da.exp_eff - 2 * self.params.e_min;

@@ -70,8 +70,20 @@ impl<'a> Ctx<'a> {
     }
 
     /// Routes an activation through the tap (if any).
+    ///
+    /// When the `MERSIT_OBS` toggle is on this is also the
+    /// activation-stat hook: every tensor that crosses a tap point is
+    /// counted (`nn.act.tensors`, `nn.act.elems`) and its max-|x| lands
+    /// in the `nn.act.max_abs` histogram — the per-layer visibility that
+    /// decides which 8-bit format survives PTQ. Observation only; the
+    /// tensor itself is never altered by instrumentation.
     #[must_use]
     pub fn tap_activation(&mut self, t: Tensor) -> Tensor {
+        if mersit_obs::enabled() {
+            mersit_obs::incr("nn.act.tensors");
+            mersit_obs::add("nn.act.elems", t.len() as u64);
+            mersit_obs::observe("nn.act.max_abs", f64::from(t.max_abs()));
+        }
         let p = self.path();
         match self.tap.as_mut() {
             Some(tap) => tap.activation(&p, t),
@@ -91,7 +103,7 @@ impl<'a> Ctx<'a> {
 /// `forward` must cache whatever `backward` needs **only** when
 /// `ctx.train` is set; `backward` consumes those caches and returns the
 /// gradient with respect to the layer input, accumulating parameter
-/// gradients into its [`Param`]s.
+/// gradients into its [`crate::param::Param`]s.
 ///
 /// The [`std::any::Any`] supertrait allows structural model transforms
 /// (such as batch-norm folding) to downcast children of containers.

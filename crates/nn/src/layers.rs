@@ -781,7 +781,11 @@ impl Layer for Sequential {
         let mut t = x;
         for (name, child) in &mut self.children {
             ctx.push(name);
+            // Per-layer forward timing (`nn.fwd.<path>`); the name closure
+            // only runs — and allocates — when `MERSIT_OBS` is on.
+            let span = mersit_obs::span_dyn(|| format!("nn.fwd.{}", ctx.path()));
             t = child.forward(t, ctx);
+            drop(span);
             if !is_container(child.kind()) {
                 t = ctx.tap_activation(t);
             }

@@ -200,12 +200,15 @@ pub fn train_classifier(net: &mut dyn Layer, train: &Split, cfg: &TrainConfig) -
         let order = rng.permutation(n);
         let mut epoch_loss = 0.0;
         let mut batches = 0;
+        let _epoch_span = mersit_obs::span("nn.train.epoch");
         for chunk in order.chunks(cfg.batch_size) {
+            let _step_span = mersit_obs::span("nn.train.step");
             let (x, y) = train.batch(chunk);
             let logits = net.forward(x, &mut Ctx::training());
             let (loss, dlogits) = cross_entropy(&logits, &y);
             net.backward(dlogits);
             state.apply(net, &cfg.opt, lr_scale);
+            mersit_obs::add("nn.train.samples", chunk.len() as u64);
             epoch_loss += loss;
             batches += 1;
         }
@@ -220,6 +223,7 @@ pub fn predict(net: &mut dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize>
     let mut preds = Vec::with_capacity(n);
     let mut i = 0;
     while i < n {
+        let _batch_span = mersit_obs::span("nn.predict.batch");
         let hi = (i + batch).min(n);
         let x = inputs.slice_outer(i, hi);
         let logits = net.forward(x, &mut Ctx::inference());

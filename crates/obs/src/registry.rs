@@ -1,0 +1,321 @@
+//! The thread-safe metric store: span statistics, counters, and
+//! log2-bucketed histograms keyed by name.
+//!
+//! Recording locks one mutex per metric kind; entries are `BTreeMap`s so
+//! snapshots (and the JSON report built from them) come out in a stable,
+//! sorted order. Span *ends* are the only contended operations — the
+//! timed work itself runs outside the lock — so contention stays
+//! proportional to the number of spans, not the work inside them.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log2 histogram buckets.
+pub(crate) const N_HIST_BUCKETS: usize = 48;
+
+/// Bucket `i` covers values in `[2^(i - HIST_BIAS), 2^(i + 1 - HIST_BIAS))`;
+/// with a bias of 16 the histogram spans `2^-16 ..= 2^31`, enough for
+/// activation magnitudes, chunk sizes, and nanosecond-scale durations
+/// alike (out-of-range values clamp into the edge buckets).
+pub(crate) const HIST_BIAS: i32 = 16;
+
+/// Aggregate statistics of one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of recorded span executions.
+    pub count: u64,
+    /// Total duration across executions, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest execution, nanoseconds.
+    pub min_ns: u64,
+    /// Longest execution, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// One histogram: count/sum/min/max plus log2 buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Log2 buckets; index `i` counts values in
+    /// `[2^(i - 16), 2^(i - 15))` (clamped at the edges, zeros and
+    /// negatives land in bucket 0).
+    pub buckets: [u64; N_HIST_BUCKETS],
+}
+
+impl HistStats {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; N_HIST_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+}
+
+/// The log2 bucket a value falls into.
+pub(crate) fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        if v.is_finite() {
+            return 0;
+        }
+        return N_HIST_BUCKETS - 1;
+    }
+    let e = v.log2().floor() as i64 + i64::from(HIST_BIAS);
+    let max = i64::try_from(N_HIST_BUCKETS - 1).expect("small constant");
+    usize::try_from(e.clamp(0, max)).expect("clamped to non-negative")
+}
+
+type Name = Cow<'static, str>;
+
+/// Thread-safe store of spans, counters, and histograms.
+///
+/// A process-global instance backs the crate-level convenience functions
+/// (see [`crate::global`]); tests and embedders may also hold private
+/// instances and record into them directly — a local registry is always
+/// live, independent of the `MERSIT_OBS` toggle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    spans: Mutex<BTreeMap<Name, SpanStats>>,
+    counters: Mutex<BTreeMap<Name, u64>>,
+    hists: Mutex<BTreeMap<Name, HistStats>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one span execution of `ns` nanoseconds into the named span's
+    /// statistics.
+    pub fn record_span_ns(&self, name: impl Into<Name>, ns: u64) {
+        let mut spans = self.spans.lock().expect("obs span lock");
+        spans
+            .entry(name.into())
+            .or_insert(SpanStats {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            })
+            .record(ns);
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn add(&self, name: impl Into<Name>, n: u64) {
+        let mut counters = self.counters.lock().expect("obs counter lock");
+        *counters.entry(name.into()).or_insert(0) += n;
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: impl Into<Name>, value: f64) {
+        let mut hists = self.hists.lock().expect("obs hist lock");
+        hists
+            .entry(name.into())
+            .or_insert_with(HistStats::new)
+            .record(value);
+    }
+
+    /// Removes every recorded metric.
+    pub fn clear(&self) {
+        self.spans.lock().expect("obs span lock").clear();
+        self.counters.lock().expect("obs counter lock").clear();
+        self.hists.lock().expect("obs hist lock").clear();
+    }
+
+    /// A consistent-per-kind copy of the current contents, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let spans = self
+            .spans
+            .lock()
+            .expect("obs span lock")
+            .iter()
+            .map(|(k, v)| SpanSnapshot {
+                name: k.to_string(),
+                stats: *v,
+            })
+            .collect();
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counter lock")
+            .iter()
+            .map(|(k, &v)| CounterSnapshot {
+                name: k.to_string(),
+                value: v,
+            })
+            .collect();
+        let histograms = self
+            .hists
+            .lock()
+            .expect("obs hist lock")
+            .iter()
+            .map(|(k, v)| HistogramSnapshot {
+                name: k.to_string(),
+                stats: v.clone(),
+            })
+            .collect();
+        Snapshot {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of one span's aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Aggregate statistics.
+    pub stats: SpanStats,
+}
+
+/// Point-in-time copy of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Aggregate statistics and buckets.
+    pub stats: HistStats,
+}
+
+/// Everything a [`Registry`] held at snapshot time, sorted by name within
+/// each kind.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// All spans.
+    pub spans: Vec<SpanSnapshot>,
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact values recorded, exact values expected
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stats_fold_min_max_total() {
+        let reg = Registry::new();
+        for ns in [30, 10, 20] {
+            reg.record_span_ns("s", ns);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.spans[0].stats,
+            SpanStats {
+                count: 3,
+                total_ns: 60,
+                min_ns: 10,
+                max_ns: 30
+            }
+        );
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        reg.add("c", 2);
+        reg.add("c", 40);
+        reg.add("d", 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].value, 42);
+        assert_eq!(snap.counters[1].name, "d");
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_index(1.0), 16);
+        assert_eq!(bucket_index(2.0), 17);
+        assert_eq!(bucket_index(3.9), 17);
+        assert_eq!(bucket_index(0.5), 15);
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(1e-30), 0);
+        assert_eq!(bucket_index(1e30), N_HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(f64::INFINITY), N_HIST_BUCKETS - 1);
+        let reg = Registry::new();
+        reg.observe("h", 1.5);
+        reg.observe("h", 1.75);
+        reg.observe("h", 100.0);
+        let snap = reg.snapshot();
+        let h = &snap.histograms[0].stats;
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets[16], 2);
+        assert_eq!(h.buckets[22], 1); // 100 ∈ [64, 128)
+        assert_eq!(h.min, 1.5);
+        assert_eq!(h.max, 100.0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let reg = Registry::new();
+        reg.record_span_ns("s", 1);
+        reg.add("c", 1);
+        reg.observe("h", 1.0);
+        assert!(!reg.snapshot().is_empty());
+        reg.clear();
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.add("zeta", 1);
+        reg.add("alpha", 1);
+        let names: Vec<_> = reg
+            .snapshot()
+            .counters
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Concurrency contract: span/counter/histogram recording from many
+//! threads (the situation `mersit_tensor::par` workers create) must not
+//! lose or duplicate samples.
+
+use mersit_obs::Registry;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 500;
+
+#[test]
+fn concurrent_spans_into_global_registry_lose_nothing() {
+    mersit_obs::set_enabled(true);
+    mersit_obs::reset();
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let _g = mersit_obs::span("conc.span");
+                    mersit_obs::add("conc.counter", (t + i) as u64 % 3 + 1);
+                    mersit_obs::observe("conc.hist", (i + 1) as f64);
+                }
+            });
+        }
+    });
+    let snap = mersit_obs::global().snapshot();
+    let span = snap.spans.iter().find(|s| s.name == "conc.span").unwrap();
+    assert_eq!(span.stats.count, (THREADS * PER_THREAD) as u64);
+    assert!(span.stats.min_ns <= span.stats.max_ns);
+    assert!(span.stats.total_ns >= span.stats.max_ns);
+
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "conc.hist")
+        .unwrap();
+    assert_eq!(hist.stats.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(
+        hist.stats.buckets.iter().sum::<u64>(),
+        (THREADS * PER_THREAD) as u64,
+        "every observation must land in exactly one bucket"
+    );
+
+    // The counter total is exactly the sum each thread contributed.
+    let expect: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t + i) as u64 % 3 + 1))
+        .sum();
+    let counter = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "conc.counter")
+        .unwrap();
+    assert_eq!(counter.value, expect);
+    mersit_obs::set_enabled(false);
+}
+
+#[test]
+fn concurrent_recording_into_a_local_registry() {
+    // Local registries are always live (no toggle) — hammer one from many
+    // threads and check exact totals.
+    let reg = Arc::new(Registry::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    reg.record_span_ns("local.span", i as u64);
+                    reg.add("local.counter", 1);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.spans[0].stats.count, (THREADS * PER_THREAD) as u64);
+    let per_thread_total: u64 = (0..PER_THREAD as u64).sum();
+    assert_eq!(
+        snap.spans[0].stats.total_ns,
+        per_thread_total * THREADS as u64
+    );
+    assert_eq!(snap.spans[0].stats.min_ns, 0);
+    assert_eq!(snap.spans[0].stats.max_ns, PER_THREAD as u64 - 1);
+    assert_eq!(snap.counters[0].value, (THREADS * PER_THREAD) as u64);
+}

@@ -1,0 +1,49 @@
+//! Disabled-mode contract: with the `MERSIT_OBS` toggle off, recording
+//! through the global convenience API is a strict no-op — the returned
+//! span guards are inert (no monotonic-clock read is ever taken, which is
+//! what `is_active() == false` certifies: an active guard *is* a captured
+//! `Instant`), dynamic span names are never materialized (the closure
+//! would have to run to allocate), and nothing reaches the registry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn disabled_recording_is_a_no_op() {
+    mersit_obs::set_enabled(false);
+    mersit_obs::reset();
+
+    // Spans: guard is inert — it holds no Instant, so constructing and
+    // dropping it performs no timing syscall and records nothing.
+    for _ in 0..1000 {
+        let g = mersit_obs::span("noop.span");
+        assert!(!g.is_active());
+    }
+
+    // Dynamic spans: the name closure must not even run (running it would
+    // be the allocation the hot path is not allowed to make).
+    static NAME_BUILDS: AtomicUsize = AtomicUsize::new(0);
+    for _ in 0..1000 {
+        let g = mersit_obs::span_dyn(|| {
+            NAME_BUILDS.fetch_add(1, Ordering::Relaxed);
+            String::from("noop.dyn")
+        });
+        assert!(!g.is_active());
+    }
+    assert_eq!(NAME_BUILDS.load(Ordering::Relaxed), 0);
+
+    // Counters and histograms: silently dropped.
+    for i in 0..1000 {
+        mersit_obs::add("noop.counter", i);
+        mersit_obs::incr("noop.incr");
+        mersit_obs::observe("noop.hist", i as f64);
+    }
+
+    let snap = mersit_obs::global().snapshot();
+    assert!(snap.is_empty(), "disabled mode leaked metrics: {snap:?}");
+    let report = mersit_obs::RunReport::capture("noop");
+    assert!(report.snapshot.is_empty());
+
+    // And the report sink refuses to write while disabled.
+    let written = mersit_obs::report::write_global_report("noop").unwrap();
+    assert_eq!(written, None);
+}

@@ -1,0 +1,50 @@
+//! Snapshot test pinning the `RunReport` JSON schema: deterministic
+//! inputs through the public recording API must serialize to exactly this
+//! artifact, byte for byte. Consumers parse these files — schema changes
+//! must bump `REPORT_VERSION` and update this snapshot deliberately.
+
+use mersit_obs::{Registry, RunReport};
+
+#[test]
+fn run_report_json_schema_snapshot() {
+    let reg = Registry::new();
+    reg.record_span_ns("quantize", 1_500);
+    reg.record_span_ns("quantize", 2_500);
+    reg.record_span_ns("calibrate", 1_000_000);
+    reg.add("elements", 4096);
+    reg.add("threads", 8);
+    reg.observe("chunk_units", 1024.0);
+
+    let json = RunReport::of("schema", &reg).to_json();
+    let expected = r#"{
+  "version": 1,
+  "bin": "schema",
+  "spans": [
+    {"name": "calibrate", "count": 1, "total_ns": 1000000, "min_ns": 1000000, "max_ns": 1000000, "mean_ns": 1000000.0},
+    {"name": "quantize", "count": 2, "total_ns": 4000, "min_ns": 1500, "max_ns": 2500, "mean_ns": 2000.0}
+  ],
+  "counters": [
+    {"name": "elements", "value": 4096},
+    {"name": "threads", "value": 8}
+  ],
+  "histograms": [
+    {"name": "chunk_units", "count": 1, "sum": 1024.0, "min": 1024.0, "max": 1024.0, "buckets": [{"le": 2048.0, "count": 1}]}
+  ]
+}
+"#;
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn report_round_trips_through_a_file() {
+    let reg = Registry::new();
+    reg.add("written", 1);
+    let report = RunReport::of("file_test", &reg);
+    let dir = std::env::temp_dir().join("mersit_obs_schema_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("OBS_file_test.json");
+    report.write_json(&path).unwrap();
+    let back = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(back, report.to_json());
+    std::fs::remove_file(&path).ok();
+}

@@ -48,10 +48,12 @@ impl Tap for CalibTap<'_> {
 /// Runs the calibration split through the model, recording activation
 /// maxima (including the input under [`INPUT_PATH`]).
 pub fn calibrate(model: &mut Model, inputs: &Tensor, batch: usize) -> Calibration {
+    let _span = mersit_obs::span("ptq.calibrate");
     let mut cal = Calibration::default();
     let n = inputs.shape()[0];
     let mut i = 0;
     while i < n {
+        mersit_obs::incr("ptq.calibrate.batches");
         let hi = (i + batch).min(n);
         let x = inputs.slice_outer(i, hi);
         {

@@ -1,6 +1,31 @@
 //! Fake-quantized inference: weights quantized per output channel,
 //! activations quantized per layer at every tap point, using the
 //! calibrated maxima as scaling parameters.
+//!
+//! # Invariants
+//!
+//! * **The tap sites are the contract.** Quantized inference must visit
+//!   exactly the activation sites calibration recorded — a site seen only
+//!   at calibration means a scale silently goes unused; a site seen only
+//!   at inference runs unquantized. Pinned by
+//!   `quantized_inference_visits_calibrated_sites` in `calibrate.rs`.
+//! * **Weights round-trip exactly.** [`evaluate_format`] snapshots FP32
+//!   weights before quantizing and restores them bit-for-bit after, so
+//!   formats can be evaluated in sequence on one trained model.
+//! * **Rank rule.** Only rank-≥2 parameters are quantized; rank-1
+//!   parameters (biases, norm scale/shift) stay FP32, matching common
+//!   PTQ practice where they fold into the high-precision accumulator.
+//! * **Unseen sites pass through.** A tap whose calibrated maximum is 0
+//!   (never fired, or all-zero data) returns the tensor untouched rather
+//!   than dividing by a degenerate scale.
+//!
+//! # Observability
+//!
+//! With `MERSIT_OBS` on, every tap point records a `ptq.layer.<path>`
+//! span (the per-layer executor timings), and the whole-pipeline phases
+//! record `ptq.quantize_weights` / `ptq.predict_quantized` /
+//! `ptq.evaluate.<format>` spans. Instrumentation observes only — the
+//! quantized values are bit-identical with the toggle on or off.
 
 use crate::calibrate::{Calibration, INPUT_PATH};
 use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_for};
@@ -45,8 +70,10 @@ impl WeightSnapshot {
 /// (biases, normalization scale/shift) stay in FP32, matching common PTQ
 /// practice where they fold into the high-precision accumulator path.
 pub fn quantize_weights(model: &mut Model, fmt: &dyn Format) {
+    let _span = mersit_obs::span("ptq.quantize_weights");
     model.net.visit_params("", &mut |_, p| {
         if p.value.shape().len() >= 2 {
+            mersit_obs::incr("ptq.weights.tensors");
             p.value = quantize_per_channel(fmt, &p.value);
         }
     });
@@ -70,8 +97,12 @@ impl<'a> QuantTap<'a> {
 
 impl Tap for QuantTap<'_> {
     fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+        // The per-layer executor timing: one span per tap visit, named
+        // after the layer path.
+        let _span = mersit_obs::span_dyn(|| format!("ptq.layer.{path}"));
         let m = self.cal.max_for(path);
         if m <= 0.0 {
+            mersit_obs::incr("ptq.layer.unseen_sites");
             return t; // site unseen at calibration: leave untouched
         }
         let s = f64::from(m) / self.anchor;
@@ -88,7 +119,9 @@ pub fn predict_quantized(
     inputs: &Tensor,
     batch: usize,
 ) -> Vec<usize> {
+    let _span = mersit_obs::span("ptq.predict_quantized");
     let n = inputs.shape()[0];
+    mersit_obs::add("ptq.predict.samples", n as u64);
     let mut preds = Vec::with_capacity(n);
     let quant_input = model.input == InputKind::Image;
     let mut i = 0;
@@ -128,6 +161,7 @@ pub fn evaluate_format(
     inputs: &Tensor,
     batch: usize,
 ) -> Vec<usize> {
+    let _span = mersit_obs::span_dyn(|| format!("ptq.evaluate.{}", fmt.name()));
     let snap = WeightSnapshot::capture(model);
     quantize_weights(model, fmt);
     let preds = predict_quantized(model, fmt, cal, inputs, batch);

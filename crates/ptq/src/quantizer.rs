@@ -37,13 +37,17 @@ pub fn scale_anchor(fmt: &dyn Format) -> f64 {
 /// when long enough to amortize the spawns. Bit-identical to the scalar
 /// element loop in every case.
 pub fn quantize_slice(fmt: &dyn Format, xs: &mut [f32], scale: f64) {
+    let _span = mersit_obs::span("ptq.quantize_slice");
+    mersit_obs::add("ptq.quantize.elems", xs.len() as u64);
     if xs.len() >= LUT_MIN_LEN && QuantLut::supports(scale) {
         if let Some(lut) = QuantLut::build(&fmt.quant_spec(), scale) {
             // Build the table once, share it read-only across threads.
+            mersit_obs::incr("ptq.quantize.lut_path");
             par::par_chunks_mut(xs, 1, par::min_units(8), |_, chunk| lut.apply(chunk));
             return;
         }
     }
+    mersit_obs::incr("ptq.quantize.scalar_path");
     fmt.quantize_slice(xs, scale);
 }
 
@@ -86,6 +90,8 @@ pub fn channel_max_abs(t: &Tensor) -> Vec<f32> {
 /// scheme).
 #[must_use]
 pub fn quantize_per_channel(fmt: &dyn Format, t: &Tensor) -> Tensor {
+    let _span = mersit_obs::span("ptq.quantize_per_channel");
+    mersit_obs::add("ptq.quantize.channels", t.shape()[0] as u64);
     let maxes = channel_max_abs(t);
     let inner: usize = t.shape()[1..].iter().product();
     let mut out = t.clone();

@@ -7,12 +7,31 @@
 //! boundaries and runs them under [`std::thread::scope`] — no external
 //! dependencies, no persistent pool.
 //!
-//! Every unit's value depends only on that unit's inputs, so the result is
-//! bit-identical for every thread count, including 1 (which runs inline on
-//! the caller's thread, reproducing the serial kernels exactly).
+//! # Invariants
 //!
-//! The thread count comes from the `MERSIT_THREADS` environment variable,
-//! defaulting to the machine's available parallelism.
+//! * **Structural partitioning, bit-identical results.** The split is by
+//!   *position* (whole units, contiguous, in order), never by value, and
+//!   every unit's output depends only on that unit's inputs. The result
+//!   is therefore bit-identical for every thread count, including 1 —
+//!   which runs inline on the caller's thread, reproducing the serial
+//!   kernels exactly. No reduction ever crosses a chunk boundary.
+//! * **Work-bounded fan-out.** The effective thread count is capped so
+//!   each worker receives at least `min_units_per_thread` units (see
+//!   [`min_units`]); below that, spawn overhead would dominate and the
+//!   call degrades gracefully to the serial path.
+//! * **Environment, not API.** The worker count comes from the
+//!   `MERSIT_THREADS` environment variable (default: available
+//!   parallelism); `1` disables threading entirely.
+//!
+//! # Observability
+//!
+//! When the `MERSIT_OBS` toggle is on (see `mersit-obs`), each dispatch
+//! records a `tensor.par.dispatch` span, each worker chunk a
+//! `tensor.par.chunk` span, and the chunk sizes land in the
+//! `tensor.par.chunk_units` histogram. Thread utilization for a run is
+//! `sum(chunk total_ns) / (dispatch total_ns × threads)`. Serial
+//! (inline) calls are counted under `tensor.par.calls_serial`. With the
+//! toggle off this instrumentation is a single atomic load per dispatch.
 
 use std::env;
 use std::num::NonZeroUsize;
@@ -23,7 +42,7 @@ use std::thread;
 const PAR_WORK_TARGET: usize = 1 << 16;
 
 /// Minimum units per thread so that each thread gets roughly
-/// [`PAR_WORK_TARGET`] operations, given the per-unit cost.
+/// `PAR_WORK_TARGET` (2¹⁶) operations, given the per-unit cost.
 #[must_use]
 pub fn min_units(work_per_unit: usize) -> usize {
     (PAR_WORK_TARGET / work_per_unit.max(1)).max(1)
@@ -84,10 +103,24 @@ pub fn par_chunks_mut_with<T, F>(
     let units = data.len() / unit;
     let by_work = units / min_units_per_thread.max(1);
     let threads = threads.min(by_work).max(1);
+    let obs_on = mersit_obs::enabled();
     if threads <= 1 {
+        if obs_on {
+            mersit_obs::incr("tensor.par.calls_serial");
+            mersit_obs::observe("tensor.par.chunk_units", units as f64);
+        }
         f(0, data);
         return;
     }
+    if obs_on {
+        mersit_obs::incr("tensor.par.calls_parallel");
+        mersit_obs::add("tensor.par.threads_spawned", threads as u64);
+    }
+    let _dispatch = if obs_on {
+        mersit_obs::span("tensor.par.dispatch")
+    } else {
+        mersit_obs::SpanGuard::inert()
+    };
     let per = units.div_ceil(threads);
     let f = &f;
     thread::scope(|s| {
@@ -98,7 +131,15 @@ pub fn par_chunks_mut_with<T, F>(
             let (chunk, tail) = rest.split_at_mut(take);
             rest = tail;
             let first = start_unit;
-            s.spawn(move || f(first, chunk));
+            s.spawn(move || {
+                let _chunk_span = if obs_on {
+                    mersit_obs::observe("tensor.par.chunk_units", (chunk.len() / unit) as f64);
+                    mersit_obs::span("tensor.par.chunk")
+                } else {
+                    mersit_obs::SpanGuard::inert()
+                };
+                f(first, chunk);
+            });
             start_unit += take / unit;
         }
     });

@@ -1,0 +1,79 @@
+//! Observability contract of the parallel fan-out: span/counter capture
+//! from `par` worker threads must be complete (no lost or duplicated
+//! chunk samples) and must not perturb results.
+
+use mersit_tensor::par_chunks_mut_with;
+
+#[test]
+fn par_workers_record_exactly_one_span_per_chunk() {
+    mersit_obs::set_enabled(true);
+    mersit_obs::reset();
+
+    let threads = 4;
+    let mut data = vec![0u32; 64 * 16];
+    par_chunks_mut_with(threads, &mut data, 16, 1, |first, chunk| {
+        for (u, block) in chunk.chunks_mut(16).enumerate() {
+            for x in block.iter_mut() {
+                *x = (first + u) as u32;
+            }
+        }
+    });
+
+    let snap = mersit_obs::global().snapshot();
+    let chunk_span = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "tensor.par.chunk")
+        .expect("chunk spans recorded");
+    assert_eq!(chunk_span.stats.count, threads as u64);
+
+    let dispatch = snap
+        .spans
+        .iter()
+        .find(|s| s.name == "tensor.par.dispatch")
+        .expect("dispatch span recorded");
+    assert_eq!(dispatch.stats.count, 1);
+
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "tensor.par.chunk_units")
+        .expect("chunk-size histogram recorded");
+    assert_eq!(hist.stats.count, threads as u64);
+    assert_eq!(
+        hist.stats.sum, 64.0,
+        "every unit accounted for exactly once"
+    );
+
+    let spawned = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "tensor.par.threads_spawned")
+        .expect("spawn counter recorded");
+    assert_eq!(spawned.value, threads as u64);
+
+    // Instrumentation must not change the computation.
+    for (i, &v) in data.iter().enumerate() {
+        assert_eq!(v, (i / 16) as u32);
+    }
+
+    // Serial (inline) path: counted, but no worker spans. Same test fn —
+    // both halves toggle the process-global registry and would race as
+    // separate parallel #[test]s.
+    mersit_obs::reset();
+    let mut data = vec![0u8; 8];
+    par_chunks_mut_with(1, &mut data, 1, 1, |_, chunk| {
+        for x in chunk.iter_mut() {
+            *x = 1;
+        }
+    });
+    let snap = mersit_obs::global().snapshot();
+    assert!(snap.spans.iter().all(|s| s.name != "tensor.par.chunk"));
+    let serial = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "tensor.par.calls_serial")
+        .expect("serial counter");
+    assert_eq!(serial.value, 1);
+    mersit_obs::set_enabled(false);
+}

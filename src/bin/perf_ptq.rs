@@ -1,0 +1,20 @@
+//! Workspace-root entry point for the quantization-engine throughput
+//! sweep, so `cargo run --release --bin perf_ptq` works from the root.
+//!
+//! Usage: `perf_ptq [n_elements]` (default 2^21 ≈ 2.1M). Set
+//! `MERSIT_OBS=1` to also emit `OBS_perf_ptq.json` with per-stage span
+//! timings and counters.
+
+fn main() {
+    mersit_obs::init_from_env();
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 << 21);
+    mersit_bench::perf::run_perf_ptq(n);
+    match mersit_obs::report::write_global_report("perf_ptq") {
+        Ok(Some(path)) => println!("wrote {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("obs report write failed: {e}"),
+    }
+}

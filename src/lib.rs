@@ -9,14 +9,21 @@
 //! * [`mersit_tensor`] / [`mersit_nn`] — tensor math, layers,
 //!   training, the miniature model zoo and synthetic datasets;
 //! * [`mersit_ptq`] — calibration, fake-quantization, accuracy and
-//!   RMSE harnesses.
+//!   RMSE harnesses;
+//! * [`mersit_obs`] (as `obs`) — the `MERSIT_OBS`-gated observability
+//!   layer (spans, counters, histograms, JSON run reports);
+//! * [`mersit_bench`] (as `bench`) — shared workload machinery behind
+//!   the table/figure regenerator binaries.
 //!
-//! See `examples/` for runnable walkthroughs and `crates/bench/src/bin/`
-//! for the per-table/figure regenerators.
+//! See `examples/` for runnable walkthroughs, `crates/bench/src/bin/`
+//! for the per-table/figure regenerators, and `ARCHITECTURE.md` for the
+//! workspace map and data-flow diagram.
 
+pub use mersit_bench as bench;
 pub use mersit_core as core;
 pub use mersit_hw as hw;
 pub use mersit_netlist as netlist;
 pub use mersit_nn as nn;
+pub use mersit_obs as obs;
 pub use mersit_ptq as ptq;
 pub use mersit_tensor as tensor;
