@@ -30,9 +30,9 @@ fn bench_calibrate_and_eval(c: &mut Criterion) {
     let ds = synthetic_images(9, 64, 32, 8);
     let fmt = parse_format("MERSIT(8,2)").expect("valid");
     c.bench_function("calibrate_64_images", |b| {
-        b.iter(|| calibrate(&mut model, black_box(&ds.calib.inputs), 16));
+        b.iter(|| calibrate(&model, black_box(&ds.calib.inputs), 16));
     });
-    let cal = calibrate(&mut model, &ds.calib.inputs, 16);
+    let cal = calibrate(&model, &ds.calib.inputs, 16);
     c.bench_function("quantized_inference_32_images", |b| {
         b.iter(|| {
             evaluate_format(

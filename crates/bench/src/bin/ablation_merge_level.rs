@@ -35,7 +35,7 @@ fn main() {
             ..TrainConfig::default()
         },
     );
-    let cal = calibrate(&mut model, &ds.calib.inputs, 32);
+    let cal = calibrate(&model, &ds.calib.inputs, 32);
 
     println!("=== Ablation: MERSIT(8,E) merge level ===\n");
     println!(

@@ -72,8 +72,8 @@ fn main() {
         "Model", "MACs", "params"
     );
     mersit_bench::hr(96);
-    for mut model in vision_zoo(12, 10, 0xBEEF) {
-        let p = profile_model(&mut model, &x);
+    for model in vision_zoo(12, 10, 0xBEEF) {
+        let p = profile_model(&model, &x);
         let macs = p.macs_per_sample();
         print!("{:<20} {:>10} {:>8}  ", p.model, macs, p.total_params());
         for c in &costs {

@@ -33,7 +33,7 @@ fn main() {
                 ..TrainConfig::default()
             },
         );
-        let p = profile_model(&mut model, &ds.test.inputs.slice_outer(0, 32));
+        let p = profile_model(&model, &ds.test.inputs.slice_outer(0, 32));
         let mean_rng = p
             .layers
             .iter()

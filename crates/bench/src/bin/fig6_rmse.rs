@@ -37,7 +37,7 @@ fn main() {
             ..TrainConfig::default()
         };
         train_classifier(&mut model.net, &ds.train, &cfg);
-        let cal = calibrate(&mut model, &ds.calib.inputs, 32);
+        let cal = calibrate(&model, &ds.calib.inputs, 32);
         for f in formats {
             let fmt = parse_format(f).expect("valid");
             let r = rmse_report(

@@ -28,7 +28,7 @@ enum Alt {
 struct AltTap(Alt);
 
 impl Tap for AltTap {
-    fn activation(&mut self, _p: &str, t: Tensor) -> Tensor {
+    fn activation(&mut self, _site: mersit_nn::Site<'_>, t: Tensor) -> Tensor {
         match self.0 {
             Alt::AdaptivFloat => quantize_adaptivfloat(&t, 4, 3),
             Alt::Bfp => quantize_bfp(&t, 7, 16),
@@ -76,16 +76,7 @@ fn eval_alt(model: &mut Model, alt: Alt, inputs: &Tensor, labels: &[usize]) -> f
         let mut tap = AltTap(alt);
         let mut ctx = Ctx::with_tap(&mut tap);
         let logits = model.net.forward(x, &mut ctx);
-        let k = logits.shape()[1];
-        for r in 0..(hi - i) {
-            let row = &logits.data()[r * k..(r + 1) * k];
-            preds.push(
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                    .map_or(0, |(j, _)| j),
-            );
-        }
+        preds.extend(mersit_nn::argmax_rows(&logits));
         i = hi;
     }
     snap.restore(model);
@@ -116,7 +107,7 @@ fn main() {
                 ..TrainConfig::default()
             },
         );
-        let cal = calibrate(&mut model, &ds.calib.inputs, 32);
+        let cal = calibrate(&model, &ds.calib.inputs, 32);
         let fp32_preds = predict(&mut model.net, &ds.test.inputs, 50);
         let fp32 = Metric::Accuracy.score(&fp32_preds, &ds.test.labels);
         let fp84 = {

@@ -50,7 +50,7 @@ struct Collect {
 }
 
 impl Tap for Collect {
-    fn activation(&mut self, _p: &str, t: Tensor) -> Tensor {
+    fn activation(&mut self, _site: mersit_nn::Site<'_>, t: Tensor) -> Tensor {
         for &v in t.data() {
             if self.seen.is_multiple_of(self.stride) && self.values.len() < self.cap {
                 self.values.push(f64::from(v));

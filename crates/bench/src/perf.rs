@@ -12,9 +12,19 @@
 //! writing `OBS_perf_ptq.json` (see [`mersit_obs::report`]). The
 //! measured buffers are identical either way: instrumentation only
 //! observes.
+//!
+//! The run also times the **full PTQ format sweep** both ways — the
+//! legacy serial string-path executor (snapshot → mutate → restore per
+//! format) against the compiled [`QuantPlan`] sweep running formats
+//! concurrently over one shared read-only model — asserts the
+//! predictions are bit-identical, and records both wall-clocks under
+//! the `"sweep"` key of `BENCH_ptq.json`.
 
-use mersit_core::{quantize_slice_scalar, table2_formats, Format, QuantLut};
-use mersit_tensor::par;
+use mersit_core::{quantize_slice_scalar, table2_formats, Format, FormatRef, QuantLut};
+use mersit_nn::models::{mobilenet_v3_t, vgg_t};
+use mersit_nn::Model;
+use mersit_ptq::{calibrate, evaluate_format, QuantPlan};
+use mersit_tensor::{par, Rng, Tensor};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -64,19 +74,142 @@ pub struct PerfRow {
     pub lut_threads: f64,
 }
 
+/// Serial-vs-parallel wall-clock of the full PTQ format sweep — the
+/// before (string-path executor, one format at a time) and after
+/// (compiled `QuantPlan`s sharing one read-only model) of the
+/// plan refactor.
+#[derive(Debug, Clone)]
+pub struct SweepBench {
+    /// Models swept (each contributes to both legs).
+    pub models: Vec<String>,
+    /// Number of formats in the sweep grid.
+    pub formats: usize,
+    /// Evaluation samples per model.
+    pub samples: usize,
+    /// Worker threads available to the parallel leg.
+    pub threads: usize,
+    /// Serial leg: legacy `evaluate_format` loop, summed over models.
+    pub serial_string_path_secs: f64,
+    /// Parallel leg: concurrent `QuantPlan` sweep, summed over models.
+    pub parallel_plan_secs: f64,
+    /// `serial / parallel`.
+    pub speedup: f64,
+}
+
+/// Times the PTQ format sweep serially (legacy mutate-and-restore
+/// executor) and in parallel (compiled plans over a shared `&Model`),
+/// asserting along the way that both produce bit-identical predictions
+/// for every format × model pair.
+///
+/// `quick` shrinks the grid (4 formats, smaller images/sample counts)
+/// for CI smoke runs. Untrained zoo weights are fine here: the sweep
+/// exercises exactly the same code paths and the comparison is on
+/// predictions and wall-clock, not accuracy.
+///
+/// # Panics
+///
+/// Panics if the two executors disagree on any prediction.
+pub fn run_sweep_bench(quick: bool) -> SweepBench {
+    let _span = mersit_obs::span("bench.sweep");
+    let mut formats: Vec<FormatRef> = table2_formats();
+    if quick {
+        formats.truncate(4);
+    }
+    let (hw, samples, calib_n, batch) = if quick {
+        (8usize, 48usize, 16usize, 16usize)
+    } else {
+        (10, 96, 32, 24)
+    };
+    let threads = par::thread_count();
+    let mut rng = Rng::new(0xBE7C);
+    let mut models = [vgg_t(hw, 10, &mut rng), mobilenet_v3_t(hw, 10, &mut rng)];
+    let calib = Tensor::randn(&[calib_n, 3, hw, hw], 1.0, &mut rng);
+    let inputs = Tensor::randn(&[samples, 3, hw, hw], 1.0, &mut rng);
+
+    let mut serial_secs = 0.0f64;
+    let mut parallel_secs = 0.0f64;
+    for model in &mut models {
+        let cal = calibrate(model, &calib, batch);
+        let serial_preds: Vec<Vec<usize>> = {
+            let _leg = mersit_obs::span("bench.sweep.serial");
+            let t0 = Instant::now();
+            let preds = formats
+                .iter()
+                .map(|fmt| evaluate_format(model, fmt.as_ref(), &cal, &inputs, batch))
+                .collect();
+            serial_secs += t0.elapsed().as_secs_f64();
+            preds
+        };
+        let parallel_preds: Vec<Option<Vec<usize>>> = {
+            let _leg = mersit_obs::span("bench.sweep.parallel");
+            let t0 = Instant::now();
+            let shared: &Model = model;
+            let mut slots: Vec<Option<Vec<usize>>> = vec![None; formats.len()];
+            par::par_chunks_mut(&mut slots, 1, 1, |f0, chunk| {
+                for (df, slot) in chunk.iter_mut().enumerate() {
+                    let fmt = &formats[f0 + df];
+                    let plan = QuantPlan::build(shared, fmt.clone(), &cal);
+                    *slot = Some(plan.predict(shared, &inputs, batch));
+                }
+            });
+            parallel_secs += t0.elapsed().as_secs_f64();
+            slots
+        };
+        for ((fmt, s), p) in formats.iter().zip(&serial_preds).zip(&parallel_preds) {
+            let p = p.as_ref().expect("every sweep slot is filled");
+            assert_eq!(
+                s,
+                p,
+                "executor mismatch for {} on {}",
+                fmt.name(),
+                model.name
+            );
+        }
+    }
+
+    let bench = SweepBench {
+        models: models.iter().map(|m| m.name.clone()).collect(),
+        formats: formats.len(),
+        samples,
+        threads,
+        serial_string_path_secs: serial_secs,
+        parallel_plan_secs: parallel_secs,
+        speedup: serial_secs / parallel_secs,
+    };
+    println!(
+        "sweep ({} models x {} formats, {} samples): serial {:.3}s, parallel {:.3}s, {:.2}x ({} threads)",
+        bench.models.len(),
+        bench.formats,
+        bench.samples,
+        bench.serial_string_path_secs,
+        bench.parallel_plan_secs,
+        bench.speedup,
+        bench.threads
+    );
+    bench
+}
+
 /// Runs the full sweep, prints the human-readable table, writes
-/// `BENCH_ptq.json`, and returns the rows.
+/// `BENCH_ptq.json` (throughput rows plus the serial-vs-parallel
+/// [`SweepBench`] section), and returns the rows.
+///
+/// `quick` reduces the format grid to the first four Table 2 entries —
+/// the CI smoke configuration.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2^20` (the measurement is too noisy below ~1M
 /// elements) or if `BENCH_ptq.json` cannot be written.
-pub fn run_perf_ptq(n: usize) -> Vec<PerfRow> {
+pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
     assert!(n >= 1 << 20, "need at least 1M elements for a stable read");
     let threads = par::thread_count();
     let src = workload(n);
     let scale = 0.037; // typical activation scale
     let reps = 3;
+    let mut grid = table2_formats();
+    if quick {
+        grid.truncate(4);
+    }
 
     mersit_obs::add("bench.perf.elements", n as u64);
     mersit_obs::add("bench.perf.threads", threads as u64);
@@ -88,7 +221,7 @@ pub fn run_perf_ptq(n: usize) -> Vec<PerfRow> {
     );
 
     let mut rows = Vec::new();
-    for fmt in table2_formats() {
+    for fmt in grid {
         let fmt: &dyn Format = fmt.as_ref();
         let spec = fmt.quant_spec();
         let lut = QuantLut::build(&spec, scale).expect("supported scale");
@@ -145,7 +278,27 @@ pub fn run_perf_ptq(n: usize) -> Vec<PerfRow> {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    let sweep = run_sweep_bench(quick);
+    json.push_str("  \"sweep\": {\n");
+    let names: Vec<String> = sweep.models.iter().map(|m| format!("\"{m}\"")).collect();
+    let _ = writeln!(json, "    \"models\": [{}],", names.join(", "));
+    let _ = writeln!(json, "    \"formats\": {},", sweep.formats);
+    let _ = writeln!(json, "    \"samples\": {},", sweep.samples);
+    let _ = writeln!(json, "    \"threads\": {},", sweep.threads);
+    let _ = writeln!(
+        json,
+        "    \"serial_string_path_secs\": {:.4},",
+        sweep.serial_string_path_secs
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_plan_secs\": {:.4},",
+        sweep.parallel_plan_secs
+    );
+    let _ = writeln!(json, "    \"speedup\": {:.2}", sweep.speedup);
+    json.push_str("  }\n}\n");
     std::fs::write("BENCH_ptq.json", &json).expect("write BENCH_ptq.json");
     println!("wrote BENCH_ptq.json");
 

@@ -4,7 +4,7 @@
 
 use crate::layer::{join_path, Ctx, Layer};
 use crate::layers::{Act, ActKind, Linear, Sequential};
-use crate::param::{Param, ParamVisitor};
+use crate::param::{Param, ParamVisitor, RefParamVisitor};
 use mersit_tensor::{softmax_rows, Rng, Tensor};
 
 /// Layer normalization over the last dimension with learned scale/shift.
@@ -35,6 +35,9 @@ impl LayerNorm {
 
 impl Layer for LayerNorm {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let d = self.dim;
         let rows = x.len() / d;
         let shape = x.shape().to_vec();
@@ -55,8 +58,25 @@ impl Layer for LayerNorm {
                 out[r * d + i] = gd[i] * xh + bd[i];
             }
         }
-        if ctx.train {
-            self.cache = Some((Tensor::from_vec(x_hat, &[rows, d]), inv_stds));
+        self.cache = Some((Tensor::from_vec(x_hat, &[rows, d]), inv_stds));
+        Tensor::from_vec(out, &shape)
+    }
+
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        let d = self.dim;
+        let rows = x.len() / d;
+        let shape = x.shape().to_vec();
+        let xd = x.data();
+        let mut out = vec![0.0f32; x.len()];
+        let (gd, bd) = (self.gamma.value.data(), self.beta.value.data());
+        for r in 0..rows {
+            let row = &xd[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            for i in 0..d {
+                out[r * d + i] = gd[i] * (row[i] - mean) * inv + bd[i];
+            }
         }
         Tensor::from_vec(out, &shape)
     }
@@ -98,6 +118,11 @@ impl Layer for LayerNorm {
         f(&join_path(prefix, "beta"), &mut self.beta);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        f(&join_path(prefix, "gamma"), &self.gamma);
+        f(&join_path(prefix, "beta"), &self.beta);
+    }
+
     fn kind(&self) -> &'static str {
         "ln"
     }
@@ -132,6 +157,9 @@ impl Embedding {
 
 impl Layer for Embedding {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         // x: [N, T] token ids stored as f32.
         let (n, t) = (x.shape()[0], x.shape()[1]);
         let d = self.dim;
@@ -156,9 +184,32 @@ impl Layer for Embedding {
                 o[i] = tab[i] + pv[i];
             }
         }
-        if ctx.train {
-            self.cache_ids = Some(ids);
-            self.cache_nt = (n, t);
+        self.cache_ids = Some(ids);
+        self.cache_nt = (n, t);
+        Tensor::from_vec(out, &[n, t, d])
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let (n, t) = (x.shape()[0], x.shape()[1]);
+        let d = self.dim;
+        // Override order matches `visit_params`: table, then pos.
+        let table = ctx.next_override().unwrap_or(&self.table.value);
+        let pos_tab = ctx.next_override().unwrap_or(&self.pos.value);
+        debug_assert_eq!(table.shape(), self.table.value.shape());
+        debug_assert_eq!(pos_tab.shape(), self.pos.value.shape());
+        let vocab = table.shape()[0];
+        let (td, pd) = (table.data(), pos_tab.data());
+        let mut out = vec![0.0f32; n * t * d];
+        for (row, &v) in x.data().iter().enumerate() {
+            let id = v as usize;
+            assert!(id < vocab, "token id {id} out of vocabulary (size {vocab})");
+            let pos = row % t;
+            let o = &mut out[row * d..(row + 1) * d];
+            let tab = &td[id * d..(id + 1) * d];
+            let pv = &pd[pos * d..(pos + 1) * d];
+            for i in 0..d {
+                o[i] = tab[i] + pv[i];
+            }
         }
         Tensor::from_vec(out, &[n, t, d])
     }
@@ -188,6 +239,11 @@ impl Layer for Embedding {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         f(&join_path(prefix, "table"), &mut self.table);
         f(&join_path(prefix, "pos"), &mut self.pos);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        f(&join_path(prefix, "table"), &self.table);
+        f(&join_path(prefix, "pos"), &self.pos);
     }
 
     fn kind(&self) -> &'static str {
@@ -261,6 +317,9 @@ impl MultiHeadAttention {
 
 impl Layer for MultiHeadAttention {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let (n, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         assert_eq!(d, self.dim, "model dim mismatch");
         let dh = d / self.heads;
@@ -285,22 +344,50 @@ impl Layer for MultiHeadAttention {
                 let p = softmax_rows(&scores);
                 let oh = p.matmul(&vh);
                 self.scatter_head(&mut concat, &oh, ni, h, t);
-                if ctx.train {
-                    probs.push(p);
-                }
+                probs.push(p);
             }
         }
-        if ctx.train {
-            self.cache = Some(MhaCache {
-                q,
-                k,
-                v,
-                probs,
-                nt: (n, t),
-            });
-        }
+        self.cache = Some(MhaCache {
+            q,
+            k,
+            v,
+            probs,
+            nt: (n, t),
+        });
         ctx.push("wo");
         let out = self.wo.forward(concat, ctx);
+        ctx.pop();
+        out
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let (n, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert_eq!(d, self.dim, "model dim mismatch");
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        ctx.push("wq");
+        let q = self.wq.forward_ref(x.clone(), ctx);
+        ctx.pop();
+        ctx.push("wk");
+        let k = self.wk.forward_ref(x.clone(), ctx);
+        ctx.pop();
+        ctx.push("wv");
+        let v = self.wv.forward_ref(x, ctx);
+        ctx.pop();
+        let mut concat = Tensor::zeros(&[n, t, d]);
+        for ni in 0..n {
+            for h in 0..self.heads {
+                let qh = self.head(&q, ni, h, t);
+                let kh = self.head(&k, ni, h, t);
+                let vh = self.head(&v, ni, h, t);
+                let scores = qh.matmul(&kh.transpose()).scale(scale);
+                let p = softmax_rows(&scores);
+                let oh = p.matmul(&vh);
+                self.scatter_head(&mut concat, &oh, ni, h, t);
+            }
+        }
+        ctx.push("wo");
+        let out = self.wo.forward_ref(concat, ctx);
         ctx.pop();
         out
     }
@@ -358,6 +445,13 @@ impl Layer for MultiHeadAttention {
         self.wo.visit_params(&join_path(prefix, "wo"), f);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        self.wq.visit_params_ref(&join_path(prefix, "wq"), f);
+        self.wk.visit_params_ref(&join_path(prefix, "wk"), f);
+        self.wv.visit_params_ref(&join_path(prefix, "wv"), f);
+        self.wo.visit_params_ref(&join_path(prefix, "wo"), f);
+    }
+
     fn kind(&self) -> &'static str {
         "mha"
     }
@@ -396,6 +490,9 @@ impl Layer for TransformerBlock {
     }
 
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         ctx.push("ln1");
         let h = self.ln1.forward(x.clone(), ctx);
         let h = ctx.tap_activation(h);
@@ -419,6 +516,30 @@ impl Layer for TransformerBlock {
         out
     }
 
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        ctx.push("ln1");
+        let h = self.ln1.forward_ref(x.clone(), ctx);
+        let h = ctx.tap_activation(h);
+        ctx.pop();
+        ctx.push("attn");
+        let a = self.attn.forward_ref(h, ctx);
+        let a = ctx.tap_activation(a);
+        ctx.pop();
+        let x1 = x.add(&a);
+        ctx.push("ln2");
+        let h2 = self.ln2.forward_ref(x1.clone(), ctx);
+        let h2 = ctx.tap_activation(h2);
+        ctx.pop();
+        ctx.push("ffn");
+        let f = self.ffn.forward_ref(h2, ctx);
+        ctx.pop();
+        let out = x1.add(&f);
+        ctx.push("out");
+        let out = ctx.tap_activation(out);
+        ctx.pop();
+        out
+    }
+
     fn backward(&mut self, dout: Tensor) -> Tensor {
         // out = x1 + ffn(ln2(x1)); x1 = x + attn(ln1(x))
         let df = self.ffn.backward(dout.clone());
@@ -432,6 +553,13 @@ impl Layer for TransformerBlock {
         self.attn.visit_params(&join_path(prefix, "attn"), f);
         self.ln2.visit_params(&join_path(prefix, "ln2"), f);
         self.ffn.visit_params(&join_path(prefix, "ffn"), f);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        self.ln1.visit_params_ref(&join_path(prefix, "ln1"), f);
+        self.attn.visit_params_ref(&join_path(prefix, "attn"), f);
+        self.ln2.visit_params_ref(&join_path(prefix, "ln2"), f);
+        self.ffn.visit_params_ref(&join_path(prefix, "ffn"), f);
     }
 
     fn kind(&self) -> &'static str {
@@ -455,10 +583,14 @@ impl TakeCls {
 
 impl Layer for TakeCls {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
-        let (n, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         if ctx.train {
             self.cache_shape = x.shape().to_vec();
         }
+        self.forward_ref(x, ctx)
+    }
+
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        let (n, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let xd = x.data();
         let mut out = vec![0.0f32; n * d];
         for ni in 0..n {
@@ -482,6 +614,8 @@ impl Layer for TakeCls {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor<'_>) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut RefParamVisitor<'_>) {}
 
     fn kind(&self) -> &'static str {
         "cls"

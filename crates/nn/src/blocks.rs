@@ -3,7 +3,7 @@
 
 use crate::layer::{join_path, Ctx, Layer};
 use crate::layers::{Act, ActKind, Linear, Sequential};
-use crate::param::ParamVisitor;
+use crate::param::{ParamVisitor, RefParamVisitor};
 use mersit_tensor::{dims4, global_avg_pool, global_avg_pool_backward, Rng, Tensor};
 
 /// `out = main(x) + shortcut(x)`; the shortcut is identity when `None`.
@@ -44,6 +44,9 @@ impl Layer for Residual {
     }
 
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         ctx.push("main");
         let m = self.main.forward(x.clone(), ctx);
         ctx.pop();
@@ -51,6 +54,26 @@ impl Layer for Residual {
             Some(sc) => {
                 ctx.push("shortcut");
                 let s = sc.forward(x, ctx);
+                ctx.pop();
+                s
+            }
+            None => x,
+        };
+        let sum = m.add(&s);
+        ctx.push("add");
+        let out = ctx.tap_activation(sum);
+        ctx.pop();
+        out
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        ctx.push("main");
+        let m = self.main.forward_ref(x.clone(), ctx);
+        ctx.pop();
+        let s = match &self.shortcut {
+            Some(sc) => {
+                ctx.push("shortcut");
+                let s = sc.forward_ref(x, ctx);
                 ctx.pop();
                 s
             }
@@ -76,6 +99,13 @@ impl Layer for Residual {
         self.main.visit_params(&join_path(prefix, "main"), f);
         if let Some(sc) = &mut self.shortcut {
             sc.visit_params(&join_path(prefix, "shortcut"), f);
+        }
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        self.main.visit_params_ref(&join_path(prefix, "main"), f);
+        if let Some(sc) = &self.shortcut {
+            sc.visit_params_ref(&join_path(prefix, "shortcut"), f);
         }
     }
 
@@ -118,6 +148,9 @@ impl SEBlock {
 
 impl Layer for SEBlock {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let (n, c, h, w) = dims4(&x);
         let pooled = global_avg_pool(&x); // [N, C]
         ctx.push("fc1");
@@ -143,8 +176,37 @@ impl Layer for SEBlock {
                 }
             }
         }
-        if ctx.train {
-            self.cache = Some(SeCache { x, scale });
+        self.cache = Some(SeCache { x, scale });
+        ctx.push("scale");
+        let out = ctx.tap_activation(out);
+        ctx.pop();
+        out
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let (n, c, h, w) = dims4(&x);
+        let pooled = global_avg_pool(&x); // [N, C]
+        ctx.push("fc1");
+        let s = self.fc1.forward_ref(pooled, ctx);
+        ctx.pop();
+        let s = self.act.forward_ref(s, ctx);
+        ctx.push("fc2");
+        let s = self.fc2.forward_ref(s, ctx);
+        ctx.pop();
+        let scale = self.gate.forward_ref(s, ctx); // [N, C] in (0,1)
+        let mut out = x;
+        let sd = scale.data().to_vec();
+        {
+            let od = out.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let g = sd[ni * c + ci];
+                    let base = (ni * c + ci) * h * w;
+                    for v in &mut od[base..base + h * w] {
+                        *v *= g;
+                    }
+                }
+            }
         }
         ctx.push("scale");
         let out = ctx.tap_activation(out);
@@ -185,6 +247,11 @@ impl Layer for SEBlock {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         self.fc1.visit_params(&join_path(prefix, "fc1"), f);
         self.fc2.visit_params(&join_path(prefix, "fc2"), f);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        self.fc1.visit_params_ref(&join_path(prefix, "fc1"), f);
+        self.fc2.visit_params_ref(&join_path(prefix, "fc2"), f);
     }
 
     fn kind(&self) -> &'static str {
@@ -296,8 +363,8 @@ mod tests {
     fn residual_taps_the_sum() {
         struct Names(Vec<String>);
         impl crate::layer::Tap for Names {
-            fn activation(&mut self, p: &str, t: Tensor) -> Tensor {
-                self.0.push(p.to_owned());
+            fn activation(&mut self, site: crate::site::Site<'_>, t: Tensor) -> Tensor {
+                self.0.push(site.path.to_owned());
                 t
             }
         }

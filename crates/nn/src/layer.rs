@@ -1,72 +1,149 @@
 //! The [`Layer`] trait, forward context, and the activation [`Tap`] hook
 //! that the PTQ pipeline uses to observe and fake-quantize activations at
 //! every layer boundary.
+//!
+//! Taps receive a [`Site`] — a dense [`SiteId`] plus the dotted path — and
+//! the context maintains the path in a single incremental buffer, so the
+//! hot loop never re-joins a `Vec<String>` per activation. See
+//! [`crate::site`] for the tracing/compiled site machinery.
 
-use crate::param::ParamVisitor;
+use crate::param::{ParamVisitor, RefParamVisitor};
+use crate::site::{Site, SiteId, SiteTable};
 use mersit_tensor::Tensor;
 
 /// Observer/transformer of inter-layer activations.
 ///
-/// During calibration a tap records per-layer maxima and returns the tensor
+/// During calibration a tap records per-site maxima and returns the tensor
 /// unchanged; during quantized inference it fake-quantizes the tensor.
 pub trait Tap {
     /// Called with each produced activation; returns the (possibly
     /// transformed) tensor that flows onward.
-    fn activation(&mut self, path: &str, t: Tensor) -> Tensor;
+    fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor;
 }
 
-/// Forward-pass context: training flag, hierarchical path, optional tap.
+/// How the context assigns [`SiteId`]s at tap points.
+enum SiteMode<'a> {
+    /// Dense ids by visit order, no table. Ids match what a trace of the
+    /// same model would assign, because both follow forward order.
+    Adhoc { next: u32 },
+    /// Interns each tap path into the table (idempotent across batches).
+    Trace(&'a mut SiteTable),
+    /// Ids by cursor; paths resolved from the traced table instead of the
+    /// live buffer — the compatibility shim for obs span names.
+    Compiled { table: &'a SiteTable, next: u32 },
+}
+
+/// Forward-pass context: training flag, hierarchical path, site mode,
+/// optional tap, and optional planned weight overrides.
 pub struct Ctx<'a> {
     /// Training mode (enables caching for backward, batch statistics).
     pub train: bool,
-    path: Vec<String>,
+    path_buf: String,
+    marks: Vec<usize>,
     tap: Option<&'a mut dyn Tap>,
+    mode: SiteMode<'a>,
+    overrides: Option<&'a [Tensor]>,
+    override_cursor: usize,
 }
 
 impl<'a> Ctx<'a> {
+    fn base(train: bool, tap: Option<&'a mut dyn Tap>, mode: SiteMode<'a>) -> Self {
+        Self {
+            train,
+            path_buf: String::new(),
+            marks: Vec::new(),
+            tap,
+            mode,
+            overrides: None,
+            override_cursor: 0,
+        }
+    }
+
     /// Inference context without a tap.
     #[must_use]
     pub fn inference() -> Self {
-        Self {
-            train: false,
-            path: Vec::new(),
-            tap: None,
-        }
+        Self::base(false, None, SiteMode::Adhoc { next: 0 })
     }
 
     /// Training context (caches intermediates for backward).
     #[must_use]
     pub fn training() -> Self {
-        Self {
-            train: true,
-            path: Vec::new(),
-            tap: None,
-        }
+        Self::base(true, None, SiteMode::Adhoc { next: 0 })
     }
 
-    /// Inference context with an activation tap.
+    /// Inference context with an activation tap (ad-hoc dense site ids).
     pub fn with_tap(tap: &'a mut dyn Tap) -> Self {
-        Self {
-            train: false,
-            path: Vec::new(),
-            tap: Some(tap),
-        }
+        Self::base(false, Some(tap), SiteMode::Adhoc { next: 0 })
+    }
+
+    /// Tracing inference context: interns every tap path into `table`.
+    pub fn tracing(table: &'a mut SiteTable) -> Self {
+        Self::base(false, None, SiteMode::Trace(table))
+    }
+
+    /// Tracing inference context with a tap attached (calibration).
+    pub fn tracing_with_tap(table: &'a mut SiteTable, tap: &'a mut dyn Tap) -> Self {
+        Self::base(false, Some(tap), SiteMode::Trace(table))
+    }
+
+    /// Compiled inference context: site ids advance by cursor in visit
+    /// order and tap paths resolve through the traced `table`.
+    pub fn compiled(table: &'a SiteTable, tap: &'a mut dyn Tap) -> Self {
+        Self::base(false, Some(tap), SiteMode::Compiled { table, next: 0 })
+    }
+
+    /// Attaches planned weight overrides: layers consume one slot per
+    /// rank-≥2 parameter, in `visit_params` order (builder style).
+    #[must_use]
+    pub fn with_overrides(mut self, weights: &'a [Tensor]) -> Self {
+        self.overrides = Some(weights);
+        self.override_cursor = 0;
+        self
     }
 
     /// Pushes a path component (container entering a child).
     pub fn push(&mut self, name: &str) {
-        self.path.push(name.to_owned());
+        self.marks.push(self.path_buf.len());
+        if !self.path_buf.is_empty() {
+            self.path_buf.push('.');
+        }
+        self.path_buf.push_str(name);
     }
 
     /// Pops a path component.
     pub fn pop(&mut self) {
-        self.path.pop();
+        let mark = self.marks.pop().expect("pop without matching push");
+        self.path_buf.truncate(mark);
     }
 
-    /// Current hierarchical path joined with `.`.
+    /// Current hierarchical path joined with `.` (maintained incrementally;
+    /// no per-call allocation).
     #[must_use]
-    pub fn path(&self) -> String {
-        self.path.join(".")
+    pub fn path(&self) -> &str {
+        &self.path_buf
+    }
+
+    /// The next planned weight override, advancing the cursor — or `None`
+    /// when the context carries no plan. Layers call this exactly once per
+    /// rank-≥2 parameter, in `visit_params` order, which is the order the
+    /// plan builder filled the slots in.
+    pub fn next_override(&mut self) -> Option<&'a Tensor> {
+        let slice = self.overrides?;
+        let i = self.override_cursor;
+        assert!(
+            i < slice.len(),
+            "weight-override cursor overran the plan ({} slots)",
+            slice.len()
+        );
+        self.override_cursor += 1;
+        Some(&slice[i])
+    }
+
+    /// Number of override slots consumed so far (plan executors assert
+    /// this equals the plan length after a forward).
+    #[must_use]
+    pub fn overrides_consumed(&self) -> usize {
+        self.override_cursor
     }
 
     /// Routes an activation through the tap (if any).
@@ -84,9 +161,33 @@ impl<'a> Ctx<'a> {
             mersit_obs::add("nn.act.elems", t.len() as u64);
             mersit_obs::observe("nn.act.max_abs", f64::from(t.max_abs()));
         }
-        let p = self.path();
-        match self.tap.as_mut() {
-            Some(tap) => tap.activation(&p, t),
+        let Self {
+            path_buf,
+            tap,
+            mode,
+            ..
+        } = self;
+        let (id, path): (SiteId, &str) = match mode {
+            SiteMode::Adhoc { next } => {
+                let id = SiteId(*next);
+                *next += 1;
+                (id, path_buf.as_str())
+            }
+            SiteMode::Trace(table) => (table.intern(path_buf), path_buf.as_str()),
+            SiteMode::Compiled { table, next } => {
+                let id = SiteId(*next);
+                *next += 1;
+                let path = table.path(id);
+                debug_assert_eq!(
+                    path,
+                    path_buf.as_str(),
+                    "compiled forward diverged from the traced site order"
+                );
+                (id, path)
+            }
+        };
+        match tap {
+            Some(tap) => tap.activation(Site { id, path }, t),
             None => t,
         }
     }
@@ -105,17 +206,32 @@ impl<'a> Ctx<'a> {
 /// gradient with respect to the layer input, accumulating parameter
 /// gradients into its [`crate::param::Param`]s.
 ///
+/// `forward_ref` is the shared-reference inference entry point: it borrows
+/// the layer (and thus every parameter) read-only, so any number of
+/// forwards can run concurrently over one model. Non-training `forward`
+/// calls delegate to it, which guarantees the two paths are bit-identical.
+///
 /// The [`std::any::Any`] supertrait allows structural model transforms
-/// (such as batch-norm folding) to downcast children of containers.
-pub trait Layer: std::any::Any {
-    /// Forward pass.
+/// (such as batch-norm folding) to downcast children of containers; the
+/// `Send + Sync` supertraits let `&Model` cross scoped-thread boundaries
+/// for parallel PTQ sweeps.
+pub trait Layer: std::any::Any + Send + Sync {
+    /// Forward pass (exclusive borrow; required for training).
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor;
+
+    /// Inference forward over a shared borrow. Must ignore `ctx.train`
+    /// caching (there is nowhere to cache) and produce bit-identical
+    /// outputs to a non-training `forward`.
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor;
 
     /// Backward pass (valid after a `train` forward).
     fn backward(&mut self, dout: Tensor) -> Tensor;
 
     /// Visits all trainable parameters with hierarchical names.
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>);
+
+    /// Read-only parameter visit, same order and names as `visit_params`.
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>);
 
     /// Short type label used in paths ("conv", "linear", …).
     fn kind(&self) -> &'static str;
@@ -148,11 +264,13 @@ mod tests {
         assert_eq!(c.path(), "net.0");
         c.pop();
         assert_eq!(c.path(), "net");
+        c.pop();
+        assert_eq!(c.path(), "");
     }
 
     struct Doubler;
     impl Tap for Doubler {
-        fn activation(&mut self, _p: &str, t: Tensor) -> Tensor {
+        fn activation(&mut self, _site: Site<'_>, t: Tensor) -> Tensor {
             t.scale(2.0)
         }
     }
@@ -165,6 +283,67 @@ mod tests {
         let out = c.tap_activation(t);
         assert_eq!(out.data(), &[6.0, 6.0]);
         assert!(c.has_tap());
+    }
+
+    struct Sites(Vec<(u32, String)>);
+    impl Tap for Sites {
+        fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
+            self.0.push((site.id.0, site.path.to_owned()));
+            t
+        }
+    }
+
+    #[test]
+    fn adhoc_ids_are_dense_in_visit_order() {
+        let mut tap = Sites(Vec::new());
+        let mut c = Ctx::with_tap(&mut tap);
+        c.push("a");
+        let _ = c.tap_activation(Tensor::zeros(&[1]));
+        c.pop();
+        c.push("b");
+        let _ = c.tap_activation(Tensor::zeros(&[1]));
+        c.pop();
+        assert_eq!(tap.0, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+
+    #[test]
+    fn tracing_interns_and_compiled_replays() {
+        let mut table = SiteTable::new();
+        {
+            let mut c = Ctx::tracing(&mut table);
+            c.push("x");
+            let _ = c.tap_activation(Tensor::zeros(&[1]));
+            c.pop();
+            c.push("y");
+            let _ = c.tap_activation(Tensor::zeros(&[1]));
+            c.pop();
+        }
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get("x").map(crate::site::SiteId::index), Some(0));
+        // Compiled mode resolves paths through the table.
+        let mut tap = Sites(Vec::new());
+        let mut c = Ctx::compiled(&table, &mut tap);
+        c.push("x");
+        let _ = c.tap_activation(Tensor::zeros(&[1]));
+        c.pop();
+        c.push("y");
+        let _ = c.tap_activation(Tensor::zeros(&[1]));
+        c.pop();
+        assert_eq!(tap.0, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn overrides_consumed_in_order() {
+        let a = Tensor::full(&[1], 1.0);
+        let b = Tensor::full(&[1], 2.0);
+        let slots = [a, b];
+        let mut c = Ctx::inference().with_overrides(&slots);
+        assert_eq!(c.next_override().unwrap().data(), &[1.0]);
+        assert_eq!(c.next_override().unwrap().data(), &[2.0]);
+        assert_eq!(c.overrides_consumed(), 2);
+        let mut plain = Ctx::inference();
+        assert!(plain.next_override().is_none());
+        assert_eq!(plain.overrides_consumed(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the [`Sequential`] container.
 
 use crate::layer::{join_path, Ctx, Layer};
-use crate::param::{Param, ParamVisitor};
+use crate::param::{Param, ParamVisitor, RefParamVisitor};
 use mersit_tensor::{
     add_channel_bias, col2im, conv2d, dims4, dwconv2d, dwconv2d_backward, global_avg_pool,
     global_avg_pool_backward, im2col, maxpool2d, maxpool2d_backward, nchw_to_rows, rows_to_nchw,
@@ -47,13 +47,10 @@ impl Linear {
         let rows = x.len() / self.in_dim;
         x.clone().reshape(&[rows, self.in_dim])
     }
-}
 
-impl Layer for Linear {
-    fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
-        let shape = x.shape().to_vec();
-        let x2 = self.flatten_input(&x);
-        let mut y = x2.matmul(&self.w.value.transpose());
+    /// `x2·wᵀ + b` over pre-flattened `[rows, in]` input.
+    fn apply(&self, x2: &Tensor, w: &Tensor) -> Tensor {
+        let mut y = x2.matmul(&w.transpose());
         // Broadcast bias over rows.
         let bd = self.b.value.data();
         for r in 0..y.shape()[0] {
@@ -62,10 +59,31 @@ impl Layer for Linear {
                 *v += b;
             }
         }
-        if ctx.train {
-            self.cache_x = Some(x2);
-            self.cache_shape = shape.clone();
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
         }
+        let shape = x.shape().to_vec();
+        let x2 = self.flatten_input(&x);
+        let y = self.apply(&x2, &self.w.value);
+        self.cache_x = Some(x2);
+        self.cache_shape = shape.clone();
+        let mut out_shape = shape;
+        *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
+        y.reshape(&out_shape)
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let w = ctx.next_override().unwrap_or(&self.w.value);
+        debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
+        let shape = x.shape().to_vec();
+        let x2 = self.flatten_input(&x);
+        let y = self.apply(&x2, w);
         let mut out_shape = shape;
         *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
         y.reshape(&out_shape)
@@ -96,6 +114,11 @@ impl Layer for Linear {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         f(&join_path(prefix, "w"), &mut self.w);
         f(&join_path(prefix, "b"), &mut self.b);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        f(&join_path(prefix, "w"), &self.w);
+        f(&join_path(prefix, "b"), &self.b);
     }
 
     fn kind(&self) -> &'static str {
@@ -154,18 +177,23 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
-        if ctx.train {
-            let col = im2col(&x, &self.spec);
-            let (n, _, h, w) = dims4(&x);
-            let (oh, ow) = self.spec.out_hw(h, w);
-            let rows = col.matmul(&self.w.value.transpose());
-            let mut out = rows_to_nchw(&rows, n, self.out_ch, oh, ow);
-            add_channel_bias(&mut out, &self.b.value);
-            self.cache = Some((col, x.shape().to_vec()));
-            out
-        } else {
-            conv2d(&x, &self.w.value, Some(&self.b.value), &self.spec)
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
         }
+        let col = im2col(&x, &self.spec);
+        let (n, _, h, w) = dims4(&x);
+        let (oh, ow) = self.spec.out_hw(h, w);
+        let rows = col.matmul(&self.w.value.transpose());
+        let mut out = rows_to_nchw(&rows, n, self.out_ch, oh, ow);
+        add_channel_bias(&mut out, &self.b.value);
+        self.cache = Some((col, x.shape().to_vec()));
+        out
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let w = ctx.next_override().unwrap_or(&self.w.value);
+        debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
+        conv2d(&x, w, Some(&self.b.value), &self.spec)
     }
 
     fn backward(&mut self, dout: Tensor) -> Tensor {
@@ -190,6 +218,11 @@ impl Layer for Conv2d {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         f(&join_path(prefix, "w"), &mut self.w);
         f(&join_path(prefix, "b"), &mut self.b);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        f(&join_path(prefix, "w"), &self.w);
+        f(&join_path(prefix, "b"), &self.b);
     }
 
     fn kind(&self) -> &'static str {
@@ -225,11 +258,20 @@ impl DwConv2d {
 
 impl Layer for DwConv2d {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let mut y = dwconv2d(&x, &self.w.value, &self.spec);
         add_channel_bias(&mut y, &self.b.value);
-        if ctx.train {
-            self.cache_x = Some(x);
-        }
+        self.cache_x = Some(x);
+        y
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let w = ctx.next_override().unwrap_or(&self.w.value);
+        debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
+        let mut y = dwconv2d(&x, w, &self.spec);
+        add_channel_bias(&mut y, &self.b.value);
         y
     }
 
@@ -254,6 +296,11 @@ impl Layer for DwConv2d {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         f(&join_path(prefix, "w"), &mut self.w);
         f(&join_path(prefix, "b"), &mut self.b);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        f(&join_path(prefix, "w"), &self.w);
+        f(&join_path(prefix, "b"), &self.b);
     }
 
     fn kind(&self) -> &'static str {
@@ -307,11 +354,14 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let (n, c, h, w) = dims4(&x);
         let plane = n * h * w;
         let xd = x.data();
         let mut out = vec![0.0f32; x.len()];
-        if ctx.train {
+        {
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for ci in 0..c {
@@ -355,16 +405,22 @@ impl Layer for BatchNorm2d {
                 x_hat: Tensor::from_vec(x_hat, x.shape()),
                 inv_std,
             });
-        } else {
-            let (gd, bd) = (self.gamma.value.data(), self.beta.value.data());
-            let (rm, rv) = (self.running_mean.data(), self.running_var.data());
-            for ni in 0..n {
-                for ci in 0..c {
-                    let inv = 1.0 / (rv[ci] + self.eps).sqrt();
-                    let base = (ni * c + ci) * h * w;
-                    for i in base..base + h * w {
-                        out[i] = gd[ci] * (xd[i] - rm[ci]) * inv + bd[ci];
-                    }
+        }
+        Tensor::from_vec(out, x.shape())
+    }
+
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        let (n, c, h, w) = dims4(&x);
+        let xd = x.data();
+        let mut out = vec![0.0f32; x.len()];
+        let (gd, bd) = (self.gamma.value.data(), self.beta.value.data());
+        let (rm, rv) = (self.running_mean.data(), self.running_var.data());
+        for ni in 0..n {
+            for ci in 0..c {
+                let inv = 1.0 / (rv[ci] + self.eps).sqrt();
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    out[i] = gd[ci] * (xd[i] - rm[ci]) * inv + bd[ci];
                 }
             }
         }
@@ -413,6 +469,11 @@ impl Layer for BatchNorm2d {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         f(&join_path(prefix, "gamma"), &mut self.gamma);
         f(&join_path(prefix, "beta"), &mut self.beta);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        f(&join_path(prefix, "gamma"), &self.gamma);
+        f(&join_path(prefix, "beta"), &self.beta);
     }
 
     fn kind(&self) -> &'static str {
@@ -516,12 +577,18 @@ impl Act {
 
 impl Layer for Act {
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let k = self.kind;
         let y = x.map(|v| k.f(v));
-        if ctx.train {
-            self.cache_x = Some(x);
-        }
+        self.cache_x = Some(x);
         y
+    }
+
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        let k = self.kind;
+        x.map(|v| k.f(v))
     }
 
     fn backward(&mut self, dout: Tensor) -> Tensor {
@@ -531,6 +598,8 @@ impl Layer for Act {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor<'_>) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut RefParamVisitor<'_>) {}
 
     fn kind(&self) -> &'static str {
         "act"
@@ -566,12 +635,18 @@ impl Layer for MaxPool2d {
         y
     }
 
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        maxpool2d(&x, self.k, self.stride).0
+    }
+
     fn backward(&mut self, dout: Tensor) -> Tensor {
         let (arg, shape) = self.cache.take().expect("backward before forward");
         maxpool2d_backward(&dout, &arg, &shape)
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor<'_>) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut RefParamVisitor<'_>) {}
 
     fn kind(&self) -> &'static str {
         "maxpool"
@@ -600,11 +675,17 @@ impl Layer for GlobalAvgPool {
         global_avg_pool(&x)
     }
 
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        global_avg_pool(&x)
+    }
+
     fn backward(&mut self, dout: Tensor) -> Tensor {
         global_avg_pool_backward(&dout, &self.cache_shape)
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor<'_>) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut RefParamVisitor<'_>) {}
 
     fn kind(&self) -> &'static str {
         "gap"
@@ -635,11 +716,19 @@ impl Layer for Flatten {
         x.reshape(&[n, rest])
     }
 
+    fn forward_ref(&self, x: Tensor, _ctx: &mut Ctx<'_>) -> Tensor {
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshape(&[n, rest])
+    }
+
     fn backward(&mut self, dout: Tensor) -> Tensor {
         dout.reshape(&self.cache_shape)
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor<'_>) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut RefParamVisitor<'_>) {}
 
     fn kind(&self) -> &'static str {
         "flatten"
@@ -778,6 +867,9 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.train {
+            return self.forward_ref(x, ctx);
+        }
         let mut t = x;
         for (name, child) in &mut self.children {
             ctx.push(name);
@@ -785,6 +877,21 @@ impl Layer for Sequential {
             // only runs — and allocates — when `MERSIT_OBS` is on.
             let span = mersit_obs::span_dyn(|| format!("nn.fwd.{}", ctx.path()));
             t = child.forward(t, ctx);
+            drop(span);
+            if !is_container(child.kind()) {
+                t = ctx.tap_activation(t);
+            }
+            ctx.pop();
+        }
+        t
+    }
+
+    fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        let mut t = x;
+        for (name, child) in &self.children {
+            ctx.push(name);
+            let span = mersit_obs::span_dyn(|| format!("nn.fwd.{}", ctx.path()));
+            t = child.forward_ref(t, ctx);
             drop(span);
             if !is_container(child.kind()) {
                 t = ctx.tap_activation(t);
@@ -805,6 +912,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor<'_>) {
         for (name, child) in &mut self.children {
             child.visit_params(&join_path(prefix, name), f);
+        }
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut RefParamVisitor<'_>) {
+        for (name, child) in &self.children {
+            child.visit_params_ref(&join_path(prefix, name), f);
         }
     }
 
@@ -1009,8 +1122,8 @@ mod tests {
     fn taps_fire_per_noncontainer_child() {
         struct Counter(Vec<String>);
         impl crate::layer::Tap for Counter {
-            fn activation(&mut self, p: &str, t: Tensor) -> Tensor {
-                self.0.push(p.to_owned());
+            fn activation(&mut self, site: crate::site::Site<'_>, t: Tensor) -> Tensor {
+                self.0.push(site.path.to_owned());
                 t
             }
         }

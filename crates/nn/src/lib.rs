@@ -56,13 +56,15 @@ pub mod layers;
 pub mod metrics;
 pub mod models;
 pub mod param;
+pub mod site;
 pub mod stats;
 pub mod train;
 
 pub use data::{glue_like, synthetic_images, Dataset, GlueTask, GLUE_SEQ_LEN, GLUE_VOCAB};
 pub use layer::{Ctx, Layer, Tap};
-pub use metrics::{accuracy, f1_binary, matthews};
+pub use metrics::{accuracy, argmax_rows, f1_binary, matthews};
 pub use models::{bert_t, vision_zoo, InputKind, Model};
-pub use param::Param;
+pub use param::{Param, RefParamVisitor};
+pub use site::{trace_sites, Site, SiteId, SiteTable};
 pub use stats::{profile_model, LayerStats, ModelProfile};
-pub use train::{predict, train_classifier, OptState, Optimizer, Split, TrainConfig};
+pub use train::{predict, predict_ref, train_classifier, OptState, Optimizer, Split, TrainConfig};

@@ -1,5 +1,35 @@
 //! Evaluation metrics matching the GLUE conventions: accuracy, Matthews
-//! correlation (CoLA), and F1 (MRPC).
+//! correlation (CoLA), and F1 (MRPC), plus the shared argmax-over-logits
+//! decode step used by every inference path.
+
+use mersit_tensor::Tensor;
+
+/// Argmax per row of a `[N, K]` logits tensor: the predicted class index
+/// for each sample. Ties resolve to the *last* maximal index, matching the
+/// historical behavior of the inference loops this helper replaced.
+///
+/// # Panics
+///
+/// Panics when any logit is NaN (the comparison contract requires finite
+/// logits) or when the tensor is not rank-2.
+#[must_use]
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    assert_eq!(logits.shape().len(), 2, "argmax_rows expects [N, K] logits");
+    let k = logits.shape()[1];
+    let n = logits.shape()[0];
+    let data = logits.data();
+    let mut preds = Vec::with_capacity(n);
+    for r in 0..n {
+        let row = &data[r * k..(r + 1) * k];
+        let arg = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map_or(0, |(j, _)| j);
+        preds.push(arg);
+    }
+    preds
+}
 
 /// Fraction of exact matches, in percent.
 ///
@@ -104,5 +134,30 @@ mod tests {
     #[test]
     fn f1_no_positive_predictions() {
         assert_eq!(f1_binary(&[0, 0], &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max_per_row() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, -0.5, 3.0, -2.0, 1.0], &[2, 3]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn argmax_rows_ties_resolve_to_last_index() {
+        let t = Tensor::from_vec(vec![2.0, 2.0, 1.0, 5.0, 0.0, 5.0], &[2, 3]);
+        assert_eq!(argmax_rows(&t), vec![1, 2]);
+    }
+
+    #[test]
+    fn argmax_rows_handles_infinities() {
+        let t = Tensor::from_vec(vec![f32::NEG_INFINITY, 0.0, f32::INFINITY, 0.0], &[2, 2]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite logits")]
+    fn argmax_rows_rejects_nan() {
+        let t = Tensor::from_vec(vec![0.0, f32::NAN], &[1, 2]);
+        let _ = argmax_rows(&t);
     }
 }

@@ -43,6 +43,16 @@ pub struct Model {
     pub input: InputKind,
 }
 
+impl Model {
+    /// Runs one tracing forward pass over a representative input and
+    /// returns the interned [`crate::site::SiteTable`] mapping every
+    /// activation tap point to its dense [`crate::site::SiteId`].
+    #[must_use]
+    pub fn trace(&self, x: &mersit_tensor::Tensor) -> crate::site::SiteTable {
+        crate::site::trace_sites(&self.net, x)
+    }
+}
+
 fn conv_bn(
     seq: &mut Sequential,
     cin: usize,

@@ -41,6 +41,11 @@ impl Param {
 /// Visitor callback type for parameter traversal.
 pub type ParamVisitor<'a> = dyn FnMut(&str, &mut Param) + 'a;
 
+/// Read-only visitor callback type — same traversal order and names as
+/// [`ParamVisitor`], over a shared borrow (used by plan builders that
+/// quantize weights without mutating the model).
+pub type RefParamVisitor<'a> = dyn FnMut(&str, &Param) + 'a;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,156 @@
+//! Interned activation-site registry.
+//!
+//! A one-time *tracing* forward pass (see [`trace_sites`]) assigns every
+//! tap point a dense [`SiteId`] in forward order and records the
+//! `SiteId ↔ path-string` table. Hot inference loops then carry the `u32`
+//! id instead of re-joining dotted path strings per activation; the legacy
+//! string path stays available through the table for observability span
+//! names and debugging.
+//!
+//! # Site contract
+//!
+//! For a fixed model structure the forward pass visits tap points in a
+//! deterministic order, so:
+//!
+//! * tracing the same model twice yields identical tables;
+//! * the ids a *compiled* forward assigns by cursor (0, 1, 2, … in visit
+//!   order) match the traced ids exactly;
+//! * `table.get(table.path(id)) == Some(id)` for every interned id.
+
+use crate::layer::{Ctx, Layer};
+use mersit_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Dense index of one activation tap point, assigned in forward order by
+/// a tracing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The id as a slice index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One activation tap point as a [`crate::layer::Tap`] sees it: the dense
+/// id plus the dotted path (resolved via the interned table in compiled
+/// mode — never `format!`ed per activation).
+#[derive(Debug, Clone, Copy)]
+pub struct Site<'a> {
+    /// Dense trace-order id.
+    pub id: SiteId,
+    /// Hierarchical dotted path, e.g. `"3_residual.main.1_bn"`.
+    pub path: &'a str,
+}
+
+/// Bidirectional `SiteId ↔ path` table built by a tracing forward pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteTable {
+    paths: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SiteTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `path`, returning its dense id. Idempotent: re-interning an
+    /// existing path returns the original id.
+    pub fn intern(&mut self, path: &str) -> SiteId {
+        if let Some(&i) = self.index.get(path) {
+            return SiteId(i);
+        }
+        let i = u32::try_from(self.paths.len()).expect("more than u32::MAX tap sites");
+        self.paths.push(path.to_owned());
+        self.index.insert(path.to_owned(), i);
+        SiteId(i)
+    }
+
+    /// The id previously assigned to `path`, if any.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<SiteId> {
+        self.index.get(path).copied().map(SiteId)
+    }
+
+    /// The path interned under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not assigned by this table (a compiled forward
+    /// visiting more sites than its trace did breaks the site contract).
+    #[must_use]
+    pub fn path(&self, id: SiteId) -> &str {
+        &self.paths[id.index()]
+    }
+
+    /// Number of interned sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no site has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates `(id, path)` pairs in trace order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &str)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (SiteId(i as u32), p.as_str()))
+    }
+}
+
+/// Runs one tracing forward pass over `net` (shared-reference, inference
+/// mode) and returns the interned site table.
+#[must_use]
+pub fn trace_sites(net: &dyn Layer, x: &Tensor) -> SiteTable {
+    let mut table = SiteTable::new();
+    let mut ctx = Ctx::tracing(&mut table);
+    let _ = net.forward_ref(x.clone(), &mut ctx);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut t = SiteTable::new();
+        let a = t.intern("conv0");
+        let b = t.intern("conv1");
+        assert_eq!(a, SiteId(0));
+        assert_eq!(b, SiteId(1));
+        assert_eq!(t.intern("conv0"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn round_trips_ids_and_paths() {
+        let mut t = SiteTable::new();
+        for p in ["a", "b.c", "b.d"] {
+            let id = t.intern(p);
+            assert_eq!(t.path(id), p);
+            assert_eq!(t.get(p), Some(id));
+        }
+        assert_eq!(t.get("missing"), None);
+        let collected: Vec<_> = t.iter().map(|(id, p)| (id.index(), p.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "a".to_owned()),
+                (1, "b.c".to_owned()),
+                (2, "b.d".to_owned())
+            ]
+        );
+    }
+}

@@ -4,6 +4,7 @@
 
 use crate::layer::{Ctx, Layer, Tap};
 use crate::models::Model;
+use crate::site::Site;
 use mersit_tensor::Tensor;
 use std::collections::BTreeMap;
 
@@ -85,7 +86,7 @@ struct StatTap {
 }
 
 impl Tap for StatTap {
-    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
+    fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
         let rms = f64::from(t.rms());
         let max = f64::from(t.max_abs());
         let outliers = if rms > 0.0 {
@@ -98,7 +99,7 @@ impl Tap for StatTap {
             0.0
         };
         self.shapes
-            .push((path.to_owned(), t.shape().to_vec(), rms, max, outliers));
+            .push((site.path.to_owned(), t.shape().to_vec(), rms, max, outliers));
         t
     }
 }
@@ -113,11 +114,11 @@ impl Tap for StatTap {
 /// zoo; use the per-path weight census in `total_params` for exact
 /// parameter counts.
 #[must_use]
-pub fn profile_model(model: &mut Model, x: &Tensor) -> ModelProfile {
+pub fn profile_model(model: &Model, x: &Tensor) -> ModelProfile {
     let batch = x.shape()[0];
     // Collect weights by layer prefix (strip the trailing param name).
     let mut weights: BTreeMap<String, Vec<Vec<usize>>> = BTreeMap::new();
-    model.net.visit_params("", &mut |path, p| {
+    model.net.visit_params_ref("", &mut |path, p| {
         if p.value.shape().len() >= 2 {
             let prefix = path.rsplit_once('.').map_or(path, |(pre, _)| pre);
             weights
@@ -129,7 +130,7 @@ pub fn profile_model(model: &mut Model, x: &Tensor) -> ModelProfile {
     let mut tap = StatTap { shapes: Vec::new() };
     {
         let mut ctx = Ctx::with_tap(&mut tap);
-        let _ = model.net.forward(x.clone(), &mut ctx);
+        let _ = model.net.forward_ref(x.clone(), &mut ctx);
     }
     let layers = tap
         .shapes
@@ -178,9 +179,9 @@ mod tests {
     #[test]
     fn vgg_mac_count_matches_hand_computation() {
         let mut rng = Rng::new(1);
-        let mut m = vgg_t(12, 10, &mut rng);
+        let m = vgg_t(12, 10, &mut rng);
         let x = Tensor::randn(&[2, 3, 12, 12], 1.0, &mut rng);
-        let p = profile_model(&mut m, &x);
+        let p = profile_model(&m, &x);
         // conv1: out [2,16,12,12], w [16, 27] → 2·16·144·27
         let conv1 = &p.layers[0];
         assert_eq!(conv1.macs, 2 * 16 * 144 * 27);
@@ -200,9 +201,9 @@ mod tests {
     #[test]
     fn stats_capture_distribution_shape() {
         let mut rng = Rng::new(2);
-        let mut m = mobilenet_v3_t(10, 10, &mut rng);
+        let m = mobilenet_v3_t(10, 10, &mut rng);
         let x = Tensor::randn(&[4, 3, 10, 10], 1.0, &mut rng);
-        let p = profile_model(&mut m, &x);
+        let p = profile_model(&m, &x);
         assert!(p.layers.len() > 20);
         assert!(p.total_params() > 3_000);
         for l in &p.layers {
@@ -220,10 +221,10 @@ mod tests {
     #[test]
     fn profile_is_deterministic() {
         let mut rng = Rng::new(3);
-        let mut m = vgg_t(8, 10, &mut rng);
+        let m = vgg_t(8, 10, &mut rng);
         let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
-        let a = profile_model(&mut m, &x);
-        let b = profile_model(&mut m, &x);
+        let a = profile_model(&m, &x);
+        let b = profile_model(&m, &x);
         assert_eq!(a, b);
     }
 }

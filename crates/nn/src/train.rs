@@ -219,6 +219,13 @@ pub fn train_classifier(net: &mut dyn Layer, train: &Split, cfg: &TrainConfig) -
 
 /// Runs inference and returns the predicted class per sample.
 pub fn predict(net: &mut dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize> {
+    predict_ref(&*net, inputs, batch)
+}
+
+/// Shared-reference inference: like [`predict`] but needs only `&` access
+/// to the network, so callers can run several predictions concurrently
+/// over one model.
+pub fn predict_ref(net: &dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize> {
     let n = inputs.shape()[0];
     let mut preds = Vec::with_capacity(n);
     let mut i = 0;
@@ -226,17 +233,8 @@ pub fn predict(net: &mut dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize>
         let _batch_span = mersit_obs::span("nn.predict.batch");
         let hi = (i + batch).min(n);
         let x = inputs.slice_outer(i, hi);
-        let logits = net.forward(x, &mut Ctx::inference());
-        let k = logits.shape()[1];
-        for r in 0..(hi - i) {
-            let row = &logits.data()[r * k..(r + 1) * k];
-            let arg = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                .map_or(0, |(j, _)| j);
-            preds.push(arg);
-        }
+        let logits = net.forward_ref(x, &mut Ctx::inference());
+        preds.extend(crate::metrics::argmax_rows(&logits));
         i = hi;
     }
     preds

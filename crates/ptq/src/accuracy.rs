@@ -2,9 +2,10 @@
 //! model and a dataset, it calibrates once and scores every format.
 
 use crate::calibrate::{calibrate, Calibration};
-use crate::executor::evaluate_format;
+use crate::executor::QuantPlan;
 use mersit_core::FormatRef;
 use mersit_nn::{accuracy, f1_binary, matthews, predict, Dataset, Model};
+use mersit_tensor::par;
 
 /// Which GLUE-style metric a task reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,12 @@ impl EvalRow {
 
 /// Calibrates on the dataset's calibration split and evaluates the FP32
 /// baseline plus every format on the test split.
+///
+/// Each format is compiled into a read-only [`QuantPlan`] and the plans
+/// run **concurrently** over the shared model via `mersit_tensor::par`
+/// scoped threads (one unit per format; `MERSIT_THREADS` caps the
+/// worker count). Scores land in format order and are bit-identical to
+/// the serial legacy sweep.
 pub fn evaluate_model(
     model: &mut Model,
     ds: &Dataset,
@@ -72,14 +79,27 @@ pub fn evaluate_model(
     let cal = calibrate(model, &ds.calib.inputs, batch);
     let fp_preds = predict(&mut model.net, &ds.test.inputs, batch);
     let fp32 = metric.score(&fp_preds, &ds.test.labels);
-    let mut scores = Vec::with_capacity(formats.len());
-    for fmt in formats {
-        let preds = evaluate_format(model, fmt.as_ref(), &cal, &ds.test.inputs, batch);
-        scores.push(FormatScore {
-            format: fmt.name(),
-            score: metric.score(&preds, &ds.test.labels),
+    let mut slots: Vec<Option<FormatScore>> = vec![None; formats.len()];
+    {
+        let _sweep = mersit_obs::span("ptq.sweep");
+        let shared: &Model = model;
+        par::par_chunks_mut(&mut slots, 1, 1, |f0, chunk| {
+            for (df, slot) in chunk.iter_mut().enumerate() {
+                let fmt = &formats[f0 + df];
+                let _span = mersit_obs::span_dyn(|| format!("ptq.evaluate.{}", fmt.name()));
+                let plan = QuantPlan::build(shared, fmt.clone(), &cal);
+                let preds = plan.predict(shared, &ds.test.inputs, batch);
+                *slot = Some(FormatScore {
+                    format: fmt.name(),
+                    score: metric.score(&preds, &ds.test.labels),
+                });
+            }
         });
     }
+    let scores = slots
+        .into_iter()
+        .map(|s| s.expect("every format slot is filled by the sweep"))
+        .collect();
     (
         EvalRow {
             model: model.name.clone(),

@@ -2,6 +2,15 @@
 //! activations quantized per layer at every tap point, using the
 //! calibrated maxima as scaling parameters.
 //!
+//! Two executors share the same numerics:
+//!
+//! * the **legacy mutate-snapshot-restore path** ([`evaluate_format`]),
+//!   which quantizes the model's weights in place and restores them after;
+//! * the **compiled plan** ([`QuantPlan`]), which quantizes weights into
+//!   plan-owned tensors and runs shared-reference forwards with
+//!   weight overrides — so many formats can evaluate concurrently over
+//!   one read-only model, with batch shards inside each format.
+//!
 //! # Invariants
 //!
 //! * **The tap sites are the contract.** Quantized inference must visit
@@ -9,6 +18,11 @@
 //!   at calibration means a scale silently goes unused; a site seen only
 //!   at inference runs unquantized. Pinned by
 //!   `quantized_inference_visits_calibrated_sites` in `calibrate.rs`.
+//! * **The two executors are bit-identical.** A [`QuantPlan`] prediction
+//!   equals the legacy [`evaluate_format`] prediction exactly for every
+//!   format, because both run the same `forward_ref` code with the same
+//!   quantized tensors — one substituted in place, one via overrides.
+//!   Pinned by `tests/plan_matches_legacy.rs`.
 //! * **Weights round-trip exactly.** [`evaluate_format`] snapshots FP32
 //!   weights before quantizing and restores them bit-for-bit after, so
 //!   formats can be evaluated in sequence on one trained model.
@@ -22,16 +36,18 @@
 //! # Observability
 //!
 //! With `MERSIT_OBS` on, every tap point records a `ptq.layer.<path>`
-//! span (the per-layer executor timings), and the whole-pipeline phases
-//! record `ptq.quantize_weights` / `ptq.predict_quantized` /
-//! `ptq.evaluate.<format>` spans. Instrumentation observes only — the
-//! quantized values are bit-identical with the toggle on or off.
+//! span (the per-layer executor timings; the path string comes from the
+//! interned site table, never rebuilt per activation), and the pipeline
+//! phases record `ptq.quantize_weights` / `ptq.predict_quantized` /
+//! `ptq.plan.build` / `ptq.plan.predict` / `ptq.evaluate.<format>` spans.
+//! Instrumentation observes only — the quantized values are bit-identical
+//! with the toggle on or off.
 
-use crate::calibrate::{Calibration, INPUT_PATH};
-use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_for};
-use mersit_core::Format;
-use mersit_nn::{Ctx, InputKind, Layer, Model, Tap};
-use mersit_tensor::Tensor;
+use crate::calibrate::Calibration;
+use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_anchor, site_scale};
+use mersit_core::{Format, FormatRef};
+use mersit_nn::{argmax_rows, Ctx, InputKind, Layer, Model, Site, SiteTable, Tap};
+use mersit_tensor::{par, Tensor};
 
 /// Snapshot of model weights for restore-after-quantization.
 #[derive(Debug, Default)]
@@ -42,11 +58,11 @@ pub struct WeightSnapshot {
 impl WeightSnapshot {
     /// Captures all parameter values of a model.
     #[must_use]
-    pub fn capture(model: &mut Model) -> Self {
+    pub fn capture(model: &Model) -> Self {
         let mut values = Vec::new();
         model
             .net
-            .visit_params("", &mut |_, p| values.push(p.value.clone()));
+            .visit_params_ref("", &mut |_, p| values.push(p.value.clone()));
         Self { values }
     }
 
@@ -79,34 +95,45 @@ pub fn quantize_weights(model: &mut Model, fmt: &dyn Format) {
     });
 }
 
-/// The activation-quantizing tap.
+/// The shared tap body: quantize through the site's calibrated scale, or
+/// pass through (counting the miss) when the site was unseen.
+fn quantize_site(fmt: &dyn Format, scales: &[Option<f64>], site: Site<'_>, t: Tensor) -> Tensor {
+    // The per-layer executor timing: one span per tap visit, named after
+    // the layer path (resolved from the interned table, not rebuilt here).
+    let _span = mersit_obs::span_dyn(|| format!("ptq.layer.{}", site.path));
+    if let Some(s) = scales.get(site.id.index()).copied().flatten() {
+        quantize_tensor(fmt, &t, s)
+    } else {
+        mersit_obs::incr("ptq.layer.unseen_sites");
+        t
+    }
+}
+
+/// The activation-quantizing tap, carrying per-site scales precompiled
+/// from the calibration maxima (one divide per site at construction, zero
+/// string handling per activation).
 pub struct QuantTap<'a> {
     fmt: &'a dyn Format,
-    cal: &'a Calibration,
-    anchor: f64,
+    scales: Vec<Option<f64>>,
 }
 
 impl<'a> QuantTap<'a> {
     /// Creates the tap over calibrated maxima.
     #[must_use]
-    pub fn new(fmt: &'a dyn Format, cal: &'a Calibration) -> Self {
-        let anchor = crate::quantizer::scale_anchor(fmt);
-        Self { fmt, cal, anchor }
+    pub fn new(fmt: &'a dyn Format, cal: &Calibration) -> Self {
+        let anchor = scale_anchor(fmt);
+        let scales = cal
+            .site_maxima()
+            .iter()
+            .map(|&m| site_scale(anchor, m))
+            .collect();
+        Self { fmt, scales }
     }
 }
 
 impl Tap for QuantTap<'_> {
-    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
-        // The per-layer executor timing: one span per tap visit, named
-        // after the layer path.
-        let _span = mersit_obs::span_dyn(|| format!("ptq.layer.{path}"));
-        let m = self.cal.max_for(path);
-        if m <= 0.0 {
-            mersit_obs::incr("ptq.layer.unseen_sites");
-            return t; // site unseen at calibration: leave untouched
-        }
-        let s = f64::from(m) / self.anchor;
-        quantize_tensor(self.fmt, &t, s)
+    fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
+        quantize_site(self.fmt, &self.scales, site, t)
     }
 }
 
@@ -123,37 +150,38 @@ pub fn predict_quantized(
     let n = inputs.shape()[0];
     mersit_obs::add("ptq.predict.samples", n as u64);
     let mut preds = Vec::with_capacity(n);
-    let quant_input = model.input == InputKind::Image;
+    let input_scale = input_scale(model, fmt, cal);
     let mut i = 0;
     while i < n {
         let hi = (i + batch).min(n);
         let mut x = inputs.slice_outer(i, hi);
-        if quant_input {
-            let m = cal.max_for(INPUT_PATH);
-            if m > 0.0 {
-                x = quantize_tensor(fmt, &x, scale_for(fmt, m));
-            }
+        if let Some(s) = input_scale {
+            x = quantize_tensor(fmt, &x, s);
         }
         let mut tap = QuantTap::new(fmt, cal);
         let mut ctx = Ctx::with_tap(&mut tap);
-        let logits = model.net.forward(x, &mut ctx);
-        let k = logits.shape()[1];
-        for r in 0..(hi - i) {
-            let row = &logits.data()[r * k..(r + 1) * k];
-            let arg = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
-                .map_or(0, |(j, _)| j);
-            preds.push(arg);
-        }
+        let logits = model.net.forward_ref(x, &mut ctx);
+        preds.extend(argmax_rows(&logits));
         i = hi;
     }
     preds
 }
 
+/// Input-tensor quantization scale: image inputs quantize through the
+/// calibrated input maximum; token-id inputs never quantize.
+fn input_scale(model: &Model, fmt: &dyn Format, cal: &Calibration) -> Option<f64> {
+    if model.input == InputKind::Image {
+        site_scale(scale_anchor(fmt), cal.input_max())
+    } else {
+        None
+    }
+}
+
 /// Full PTQ evaluation of one format on one model: quantize weights,
 /// run quantized inference, restore the FP32 weights, return predictions.
+///
+/// This is the legacy serial executor; [`QuantPlan`] produces bit-identical
+/// predictions without ever mutating the model.
 pub fn evaluate_format(
     model: &mut Model,
     fmt: &dyn Format,
@@ -169,6 +197,125 @@ pub fn evaluate_format(
     preds
 }
 
+/// A compiled, immutable evaluation plan for one (model, format) pair:
+/// plan-owned quantized weight tensors (rank-≥2 slots in parameter-visit
+/// order) plus dense per-site activation scales. Building the plan never
+/// mutates the model, and [`QuantPlan::predict`] needs only `&` access —
+/// so plans for different formats run concurrently over one model, and
+/// batch shards run concurrently inside one plan.
+#[derive(Debug)]
+pub struct QuantPlan {
+    fmt: FormatRef,
+    weights: Vec<Tensor>,
+    scales: Vec<Option<f64>>,
+    sites: SiteTable,
+    input_scale: Option<f64>,
+}
+
+/// The plan's tap: same numerics as [`QuantTap`], borrowing the plan's
+/// precompiled scales.
+struct PlanTap<'a> {
+    fmt: &'a dyn Format,
+    scales: &'a [Option<f64>],
+}
+
+impl Tap for PlanTap<'_> {
+    fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
+        quantize_site(self.fmt, self.scales, site, t)
+    }
+}
+
+impl QuantPlan {
+    /// Compiles the plan: per-channel-quantizes every rank-≥2 parameter
+    /// into plan-owned tensors and precomputes the per-site activation
+    /// scales. The model is only read.
+    #[must_use]
+    pub fn build(model: &Model, fmt: FormatRef, cal: &Calibration) -> Self {
+        let _span = mersit_obs::span("ptq.plan.build");
+        let mut weights = Vec::new();
+        model.net.visit_params_ref("", &mut |_, p| {
+            if p.value.shape().len() >= 2 {
+                mersit_obs::incr("ptq.weights.tensors");
+                weights.push(quantize_per_channel(fmt.as_ref(), &p.value));
+            }
+        });
+        let anchor = scale_anchor(fmt.as_ref());
+        let scales = cal
+            .site_maxima()
+            .iter()
+            .map(|&m| site_scale(anchor, m))
+            .collect();
+        let input_scale = input_scale(model, fmt.as_ref(), cal);
+        Self {
+            fmt,
+            weights,
+            scales,
+            sites: cal.sites().clone(),
+            input_scale,
+        }
+    }
+
+    /// The format this plan quantizes through.
+    #[must_use]
+    pub fn format(&self) -> &dyn Format {
+        self.fmt.as_ref()
+    }
+
+    /// Number of quantized weight tensors the plan owns.
+    #[must_use]
+    pub fn num_weight_slots(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Runs one compiled batch: quantize the input (image models), then a
+    /// shared-reference forward with weight overrides and the plan tap.
+    fn predict_batch(&self, model: &Model, x: Tensor) -> Vec<usize> {
+        let x = match self.input_scale {
+            Some(s) => quantize_tensor(self.fmt.as_ref(), &x, s),
+            None => x,
+        };
+        let mut tap = PlanTap {
+            fmt: self.fmt.as_ref(),
+            scales: &self.scales,
+        };
+        let mut ctx = Ctx::compiled(&self.sites, &mut tap).with_overrides(&self.weights);
+        let logits = model.net.forward_ref(x, &mut ctx);
+        assert_eq!(
+            ctx.overrides_consumed(),
+            self.weights.len(),
+            "forward consumed a different number of weight overrides than the plan owns"
+        );
+        argmax_rows(&logits)
+    }
+
+    /// Fake-quantized inference through the plan, sharding whole batches
+    /// across `mersit_tensor::par` scoped threads. The evaluation forward
+    /// has no cross-sample reductions, so predictions are bit-identical
+    /// to the serial batch loop for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is 0.
+    #[must_use]
+    pub fn predict(&self, model: &Model, inputs: &Tensor, batch: usize) -> Vec<usize> {
+        let _span = mersit_obs::span("ptq.plan.predict");
+        assert!(batch > 0, "batch size must be positive");
+        let n = inputs.shape()[0];
+        mersit_obs::add("ptq.predict.samples", n as u64);
+        let mut preds = vec![0usize; n];
+        par::par_chunks_mut(&mut preds, 1, batch, |s0, chunk| {
+            let mut i = 0;
+            while i < chunk.len() {
+                let hi = (i + batch).min(chunk.len());
+                let x = inputs.slice_outer(s0 + i, s0 + hi);
+                chunk[i..hi].copy_from_slice(&self.predict_batch(model, x));
+                i = hi;
+            }
+        });
+        preds
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,7 +329,7 @@ mod tests {
     fn snapshot_restores_weights_exactly() {
         let mut rng = Rng::new(1);
         let mut model = vgg_t(12, 10, &mut rng);
-        let snap = WeightSnapshot::capture(&mut model);
+        let snap = WeightSnapshot::capture(&model);
         let fmt = parse_format("FP(8,2)").unwrap();
         quantize_weights(&mut model, fmt.as_ref());
         // Weights changed...
@@ -232,7 +379,7 @@ mod tests {
         let mut rng = Rng::new(3);
         let mut model = vgg_t(12, 10, &mut rng);
         let x = Tensor::randn(&[16, 3, 12, 12], 1.0, &mut rng);
-        let cal = calibrate(&mut model, &x, 8);
+        let cal = calibrate(&model, &x, 8);
         let fp = predict(&mut model.net, &x, 8);
         let fmt = parse_format("MERSIT(8,2)").unwrap();
         let q = evaluate_format(&mut model, fmt.as_ref(), &cal, &x, 8);
@@ -247,7 +394,7 @@ mod tests {
         let mut rng = Rng::new(4);
         let mut model = vgg_t(12, 10, &mut rng);
         let x = Tensor::randn(&[24, 3, 12, 12], 2.0, &mut rng);
-        let cal = calibrate(&mut model, &x, 8);
+        let cal = calibrate(&model, &x, 8);
         let fp = predict(&mut model.net, &x, 8);
         let agree = |name: &str, model: &mut Model| {
             let fmt = parse_format(name).unwrap();
@@ -257,5 +404,21 @@ mod tests {
         let good = agree("MERSIT(8,2)", &mut model);
         let bad = agree("FP(8,2)", &mut model);
         assert!(good >= bad, "MERSIT {good} vs FP(8,2) {bad}");
+    }
+
+    #[test]
+    fn plan_predictions_stable_across_batch_sizes() {
+        // Per-sample independence: the plan's sharded predict must not
+        // depend on how samples are grouped into batches.
+        let mut rng = Rng::new(5);
+        let model = vgg_t(8, 10, &mut rng);
+        let x = Tensor::randn(&[11, 3, 8, 8], 1.0, &mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let fmt = parse_format("MERSIT(8,2)").unwrap();
+        let plan = QuantPlan::build(&model, fmt, &cal);
+        let a = plan.predict(&model, &x, 3);
+        let b = plan.predict(&model, &x, 11);
+        assert_eq!(a, b);
+        assert!(plan.num_weight_slots() >= 6);
     }
 }

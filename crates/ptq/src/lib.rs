@@ -50,11 +50,11 @@ pub mod rmse;
 pub use accuracy::{evaluate_model, render_table, EvalRow, FormatScore, Metric};
 pub use calibrate::{calibrate, Calibration, INPUT_PATH};
 pub use executor::{
-    evaluate_format, predict_quantized, quantize_weights, QuantTap, WeightSnapshot,
+    evaluate_format, predict_quantized, quantize_weights, QuantPlan, QuantTap, WeightSnapshot,
 };
 pub use other_formats::{quantize_adaptivfloat, quantize_bfp};
 pub use quantizer::{
     channel_max_abs, quantize_per_channel, quantize_slice, quantize_tensor, relative_rmse,
-    scale_anchor, scale_for,
+    scale_anchor, scale_for, site_scale,
 };
 pub use rmse::{activation_rmse, rmse_report, weight_rmse, RmseReport};

@@ -51,15 +51,23 @@ pub fn quantize_slice(fmt: &dyn Format, xs: &mut [f32], scale: f64) {
     fmt.quantize_slice(xs, scale);
 }
 
+/// Per-site activation scale: `Some(max_abs / anchor)` when the site was
+/// observed (positive maximum), `None` for unseen sites, which must pass
+/// through unquantized. This is the **single** definition of the
+/// activation scale — the calibrated executor taps, the compiled
+/// [`crate::executor::QuantPlan`], and the input quantization in
+/// [`crate::executor::predict_quantized`] all go through it, so they can
+/// never drift apart.
+#[must_use]
+pub fn site_scale(anchor: f64, max_abs: f32) -> Option<f64> {
+    (max_abs > 0.0).then(|| f64::from(max_abs) / anchor)
+}
+
 /// Scale that maps `max_abs` onto [`scale_anchor`].
 /// Returns 1.0 for all-zero data.
 #[must_use]
 pub fn scale_for(fmt: &dyn Format, max_abs: f32) -> f64 {
-    if max_abs <= 0.0 {
-        1.0
-    } else {
-        f64::from(max_abs) / scale_anchor(fmt)
-    }
+    site_scale(scale_anchor(fmt), max_abs).unwrap_or(1.0)
 }
 
 /// Fake-quantizes a whole tensor with one scale (per-tensor quantization,

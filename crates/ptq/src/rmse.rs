@@ -3,7 +3,7 @@
 use crate::calibrate::Calibration;
 use crate::quantizer::{quantize_per_channel, quantize_tensor, relative_rmse};
 use mersit_core::Format;
-use mersit_nn::{Ctx, Layer, Model, Tap};
+use mersit_nn::{Ctx, Layer, Model, Site, Tap};
 use mersit_tensor::Tensor;
 
 /// RMSE summary for one (model, format) pair.
@@ -56,12 +56,10 @@ struct RmseTap<'a> {
 }
 
 impl Tap for RmseTap<'_> {
-    fn activation(&mut self, path: &str, t: Tensor) -> Tensor {
-        let m = self.cal.max_for(path);
-        if m <= 0.0 {
+    fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
+        let Some(s) = crate::quantizer::site_scale(self.anchor, self.cal.max_for(site.path)) else {
             return t;
-        }
-        let s = f64::from(m) / self.anchor;
+        };
         let q = quantize_tensor(self.fmt, &t, s);
         self.err_sum += relative_rmse(&q, &t);
         self.sites += 1;
@@ -148,7 +146,7 @@ mod tests {
         let mut rng = Rng::new(2);
         let mut model = vgg_t(12, 10, &mut rng);
         let x = Tensor::randn(&[8, 3, 12, 12], 1.0, &mut rng);
-        let cal = calibrate(&mut model, &x, 4);
+        let cal = calibrate(&model, &x, 4);
         let m = activation_rmse(
             &mut model,
             &cal,
@@ -172,7 +170,7 @@ mod tests {
         let mut rng = Rng::new(3);
         let mut model = vgg_t(12, 10, &mut rng);
         let x = Tensor::randn(&[4, 3, 12, 12], 1.0, &mut rng);
-        let cal = calibrate(&mut model, &x, 4);
+        let cal = calibrate(&model, &x, 4);
         let fmt = parse_format("Posit(8,1)").unwrap();
         let r = rmse_report(&mut model, &cal, fmt.as_ref(), &x, 4);
         assert_eq!(r.model, "vgg_t");

@@ -1,0 +1,39 @@
+//! Pins the bit-identity contract between the two PTQ executors: the
+//! legacy string-path executor (`evaluate_format`, which mutates the
+//! model's weights and restores them from a snapshot) and the compiled
+//! [`QuantPlan`] executor (which owns quantized weight tensors and runs
+//! over a shared `&Model`). Every Table 2 format on two zoo models must
+//! produce *exactly* the same predictions both ways — this is the
+//! invariant that makes the parallel format sweep a pure optimization.
+
+use mersit_core::table2_formats;
+use mersit_nn::models::{mobilenet_v3_t, vgg_t};
+use mersit_ptq::{calibrate, evaluate_format, QuantPlan};
+use mersit_tensor::{Rng, Tensor};
+
+#[test]
+fn plan_matches_legacy_for_every_table2_format() {
+    let mut rng = Rng::new(0x51AB);
+    let mut models = [vgg_t(8, 10, &mut rng), mobilenet_v3_t(8, 10, &mut rng)];
+    let calib = Tensor::randn(&[6, 3, 8, 8], 1.0, &mut rng);
+    // 12 samples with batch 5 forces an uneven final shard in the
+    // plan's parallel predict path.
+    let inputs = Tensor::randn(&[12, 3, 8, 8], 1.0, &mut rng);
+    let formats = table2_formats();
+    assert_eq!(formats.len(), 11, "Table 2 grid changed size");
+    for model in &mut models {
+        let cal = calibrate(model, &calib, 4);
+        for fmt in &formats {
+            let legacy = evaluate_format(model, fmt.as_ref(), &cal, &inputs, 5);
+            let plan = QuantPlan::build(model, fmt.clone(), &cal);
+            let planned = plan.predict(model, &inputs, 5);
+            assert_eq!(
+                legacy,
+                planned,
+                "executors disagree: {} on {}",
+                fmt.name(),
+                model.name
+            );
+        }
+    }
+}

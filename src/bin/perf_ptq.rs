@@ -1,17 +1,19 @@
 //! Workspace-root entry point for the quantization-engine throughput
 //! sweep, so `cargo run --release --bin perf_ptq` works from the root.
 //!
-//! Usage: `perf_ptq [n_elements]` (default 2^21 ≈ 2.1M). Set
-//! `MERSIT_OBS=1` to also emit `OBS_perf_ptq.json` with per-stage span
-//! timings and counters.
+//! Usage: `perf_ptq [n_elements] [--quick]` (default 2^21 ≈ 2.1M
+//! elements; `--quick` drops to 2^20 and the first four Table 2
+//! formats — the CI smoke configuration). Set `MERSIT_OBS=1` to also
+//! emit `OBS_perf_ptq.json` with per-stage span timings and counters.
 
 fn main() {
     mersit_obs::init_from_env();
+    let quick = std::env::args().any(|a| a == "--quick");
     let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1 << 21);
-    mersit_bench::perf::run_perf_ptq(n);
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 1 << 20 } else { 1 << 21 });
+    mersit_bench::perf::run_perf_ptq(n, quick);
     match mersit_obs::report::write_global_report("perf_ptq") {
         Ok(Some(path)) => println!("wrote {path}"),
         Ok(None) => {}

@@ -83,7 +83,7 @@ fn rmse_ordering_matches_fig6() {
     let mut rng = Rng::new(5);
     let mut model = vgg_t(8, 10, &mut rng);
     train_classifier(&mut model.net, &ds.train, &quick_cfg(3));
-    let cal = calibrate(&mut model, &ds.calib.inputs, 32);
+    let cal = calibrate(&model, &ds.calib.inputs, 32);
     let sample = ds.test.inputs.slice_outer(0, 32);
     let mut rep = |n: &str| {
         let fmt = parse_format(n).unwrap();
