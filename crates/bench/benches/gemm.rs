@@ -1,0 +1,60 @@
+//! Criterion benches for the matmul hot path: the naive i-k-j kernel
+//! against the packed cache-blocked GEMM, single-threaded (direct kernel
+//! calls, no `par` dispatch), over square and skinny shapes drawn from
+//! the model zoo's real layer dims.
+//!
+//! The `packed` leg re-packs the rhs every iteration — that is the
+//! `Tensor::matmul` cost model; the `packed_amortized` leg packs once,
+//! which is the `QuantPlan` weight-panel cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mersit_tensor::gemm::{gemm_rows, matmul_naive_rows, PackedRhs};
+use mersit_tensor::Rng;
+use std::hint::black_box;
+
+/// (label, m, k, n) — im2col rows × patch × out-channels plus the
+/// classifier / logits linears at bench model sizes.
+const SHAPES: [(&str, usize, usize, usize); 5] = [
+    ("square_256", 256, 256, 256),
+    ("vgg_conv3x3", 2400, 144, 32),
+    ("mnv3_conv1x1", 1200, 24, 64),
+    ("vgg_classifier", 96, 128, 64),
+    ("logits_skinny", 96, 64, 10),
+];
+
+fn bench_gemm(c: &mut Criterion) {
+    for (label, m, k, n) in SHAPES {
+        let mut rng = Rng::new(0x6E44 ^ (m * 31 + k * 7 + n) as u64);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal() as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal() as f32).collect();
+        let mut g = c.benchmark_group(format!("gemm_{label}"));
+        g.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        g.bench_function(BenchmarkId::from_parameter("naive"), |bch| {
+            let mut out = vec![0.0f32; m * n];
+            bch.iter(|| {
+                out.fill(0.0);
+                matmul_naive_rows(black_box(&a), k, black_box(&b), n, black_box(&mut out));
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("packed"), |bch| {
+            let mut out = vec![0.0f32; m * n];
+            bch.iter(|| {
+                out.fill(0.0);
+                let p = PackedRhs::pack(black_box(&b), k, n);
+                gemm_rows(black_box(&a), k, &p, black_box(&mut out));
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("packed_amortized"), |bch| {
+            let p = PackedRhs::pack(&b, k, n);
+            let mut out = vec![0.0f32; m * n];
+            bch.iter(|| {
+                out.fill(0.0);
+                gemm_rows(black_box(&a), k, black_box(&p), black_box(&mut out));
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

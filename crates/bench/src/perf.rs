@@ -24,7 +24,7 @@ use mersit_core::{quantize_slice_scalar, table2_formats, Format, FormatRef, Quan
 use mersit_nn::models::{mobilenet_v3_t, vgg_t};
 use mersit_nn::Model;
 use mersit_ptq::{calibrate, evaluate_format, QuantPlan};
-use mersit_tensor::{par, Rng, Tensor};
+use mersit_tensor::{gemm, par, Rng, Tensor};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -74,6 +74,18 @@ pub struct PerfRow {
     pub lut_threads: f64,
 }
 
+/// One format's wall-clock contribution to the sweep, summed over models.
+#[derive(Debug, Clone)]
+pub struct FormatSweep {
+    /// Format name.
+    pub format: String,
+    /// Serial leg seconds for this format (legacy executor).
+    pub serial_secs: f64,
+    /// Parallel leg seconds for this format (plan build + predict, as
+    /// measured inside its sweep slot).
+    pub parallel_secs: f64,
+}
+
 /// Serial-vs-parallel wall-clock of the full PTQ format sweep — the
 /// before (string-path executor, one format at a time) and after
 /// (compiled `QuantPlan`s sharing one read-only model) of the
@@ -86,7 +98,8 @@ pub struct SweepBench {
     pub formats: usize,
     /// Evaluation samples per model.
     pub samples: usize,
-    /// Worker threads available to the parallel leg.
+    /// Threads actually used: the persistent pool's size (workers +
+    /// dispatcher), not just the requested `MERSIT_THREADS`.
     pub threads: usize,
     /// Serial leg: legacy `evaluate_format` loop, summed over models.
     pub serial_string_path_secs: f64,
@@ -94,6 +107,8 @@ pub struct SweepBench {
     pub parallel_plan_secs: f64,
     /// `serial / parallel`.
     pub speedup: f64,
+    /// Per-format wall-clock breakdown (summed over models).
+    pub per_format: Vec<FormatSweep>,
 }
 
 /// Times the PTQ format sweep serially (legacy mutate-and-restore
@@ -120,7 +135,7 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
     } else {
         (10, 96, 32, 24)
     };
-    let threads = par::thread_count();
+    let threads = par::pool_size();
     let mut rng = Rng::new(0xBE7C);
     let mut models = [vgg_t(hw, 10, &mut rng), mobilenet_v3_t(hw, 10, &mut rng)];
     let calib = Tensor::randn(&[calib_n, 3, hw, hw], 1.0, &mut rng);
@@ -128,6 +143,14 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
 
     let mut serial_secs = 0.0f64;
     let mut parallel_secs = 0.0f64;
+    let mut per_format: Vec<FormatSweep> = formats
+        .iter()
+        .map(|f| FormatSweep {
+            format: f.name(),
+            serial_secs: 0.0,
+            parallel_secs: 0.0,
+        })
+        .collect();
     for model in &mut models {
         let cal = calibrate(model, &calib, batch);
         let serial_preds: Vec<Vec<usize>> = {
@@ -135,28 +158,44 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
             let t0 = Instant::now();
             let preds = formats
                 .iter()
-                .map(|fmt| evaluate_format(model, fmt.as_ref(), &cal, &inputs, batch))
+                .zip(&mut per_format)
+                .map(|(fmt, pf)| {
+                    let f0 = Instant::now();
+                    let preds = evaluate_format(model, fmt.as_ref(), &cal, &inputs, batch);
+                    pf.serial_secs += f0.elapsed().as_secs_f64();
+                    preds
+                })
                 .collect();
             serial_secs += t0.elapsed().as_secs_f64();
             preds
         };
-        let parallel_preds: Vec<Option<Vec<usize>>> = {
+        // Each slot carries its own wall-clock, measured inside the
+        // chunk, so per-format cost survives the concurrent execution.
+        let parallel_preds: Vec<Option<(Vec<usize>, f64)>> = {
             let _leg = mersit_obs::span("bench.sweep.parallel");
             let t0 = Instant::now();
             let shared: &Model = model;
-            let mut slots: Vec<Option<Vec<usize>>> = vec![None; formats.len()];
+            let mut slots: Vec<Option<(Vec<usize>, f64)>> = vec![None; formats.len()];
             par::par_chunks_mut(&mut slots, 1, 1, |f0, chunk| {
                 for (df, slot) in chunk.iter_mut().enumerate() {
                     let fmt = &formats[f0 + df];
+                    let s0 = Instant::now();
                     let plan = QuantPlan::build(shared, fmt.clone(), &cal);
-                    *slot = Some(plan.predict(shared, &inputs, batch));
+                    let preds = plan.predict(shared, &inputs, batch);
+                    *slot = Some((preds, s0.elapsed().as_secs_f64()));
                 }
             });
             parallel_secs += t0.elapsed().as_secs_f64();
             slots
         };
-        for ((fmt, s), p) in formats.iter().zip(&serial_preds).zip(&parallel_preds) {
-            let p = p.as_ref().expect("every sweep slot is filled");
+        for (((fmt, s), p), pf) in formats
+            .iter()
+            .zip(&serial_preds)
+            .zip(&parallel_preds)
+            .zip(&mut per_format)
+        {
+            let (p, secs) = p.as_ref().expect("every sweep slot is filled");
+            pf.parallel_secs += secs;
             assert_eq!(
                 s,
                 p,
@@ -175,6 +214,7 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
         serial_string_path_secs: serial_secs,
         parallel_plan_secs: parallel_secs,
         speedup: serial_secs / parallel_secs,
+        per_format,
     };
     println!(
         "sweep ({} models x {} formats, {} samples): serial {:.3}s, parallel {:.3}s, {:.2}x ({} threads)",
@@ -187,6 +227,110 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
         bench.threads
     );
     bench
+}
+
+/// One matmul shape's measured throughput, naive vs packed/blocked.
+#[derive(Debug, Clone)]
+pub struct GemmRow {
+    /// Shape label (where the dims come from in the model zoo).
+    pub shape: String,
+    /// Output rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Naive i-k-j kernel, MFLOP/s (2·m·n·k flops).
+    pub naive_mflops: f64,
+    /// Packed cache-blocked kernel incl. per-call pack cost, MFLOP/s.
+    pub packed_mflops: f64,
+    /// `packed / naive`.
+    pub speedup: f64,
+}
+
+/// Single-thread matmul throughput: the old naive i-k-j kernel against
+/// the packed cache-blocked GEMM (pack cost included), over square and
+/// skinny shapes drawn from the model zoo's real layer dims. Kernels are
+/// called directly (no `par` dispatch) so this isolates the micro-kernel
+/// win, and each shape's outputs are asserted bit-identical first.
+#[must_use]
+pub fn run_gemm_bench() -> Vec<GemmRow> {
+    let _span = mersit_obs::span("bench.gemm");
+    // (label, m, k, n): im2col rows × patch × out-channels and the
+    // classifier/logits linears of the zoo models at bench size.
+    let shapes: [(&str, usize, usize, usize); 5] = [
+        ("square_256", 256, 256, 256),
+        ("vgg_conv3x3", 2400, 144, 32),
+        ("mnv3_conv1x1", 1200, 24, 64),
+        ("vgg_classifier", 96, 128, 64),
+        ("logits_skinny", 96, 64, 10),
+    ];
+    let reps = 5;
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>12} {:>12} {:>8}",
+        "gemm shape", "m", "k", "n", "naive MF/s", "packed MF/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for (label, m, k, n) in shapes {
+        let mut rng = Rng::new(0x6E44 ^ (m * 31 + k * 7 + n) as u64);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal() as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal() as f32).collect();
+        let flops = (2 * m * n * k) as f64;
+
+        let mut naive_out = vec![0.0f32; m * n];
+        gemm::matmul_naive_rows(&a, k, &b, n, &mut naive_out);
+        let packed = gemm::PackedRhs::pack(&b, k, n);
+        let mut packed_out = vec![0.0f32; m * n];
+        gemm::gemm_rows(&a, k, &packed, &mut packed_out);
+        assert_eq!(
+            naive_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            packed_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "kernels diverged on {label}"
+        );
+
+        // Criterion-style batched windows: each timing window runs
+        // enough iterations to cover ~0.4 GFLOP, so µs-scale shapes are
+        // not at the mercy of timer granularity; best window wins.
+        let inner = ((4e8 / flops).ceil() as usize).clamp(1, 10_000);
+        let mut out = vec![0.0f32; m * n];
+        let mut naive_best = 0.0f64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                out.fill(0.0);
+                gemm::matmul_naive_rows(black_box(&a), k, black_box(&b), n, black_box(&mut out));
+            }
+            let rate = flops * inner as f64 / t0.elapsed().as_secs_f64();
+            naive_best = naive_best.max(rate);
+        }
+        let mut packed_best = 0.0f64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                out.fill(0.0);
+                let p = gemm::PackedRhs::pack(black_box(&b), k, n);
+                gemm::gemm_rows(black_box(&a), k, &p, black_box(&mut out));
+            }
+            let rate = flops * inner as f64 / t0.elapsed().as_secs_f64();
+            packed_best = packed_best.max(rate);
+        }
+        black_box(&out);
+        let row = GemmRow {
+            shape: label.to_owned(),
+            m,
+            k,
+            n,
+            naive_mflops: naive_best / 1e6,
+            packed_mflops: packed_best / 1e6,
+            speedup: packed_best / naive_best,
+        };
+        println!(
+            "{:<16} {:>5} {:>5} {:>5} {:>12.1} {:>12.1} {:>7.2}x",
+            row.shape, m, k, n, row.naive_mflops, row.packed_mflops, row.speedup
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 /// Runs the full sweep, prints the human-readable table, writes
@@ -202,7 +346,7 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
 /// elements) or if `BENCH_ptq.json` cannot be written.
 pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
     assert!(n >= 1 << 20, "need at least 1M elements for a stable read");
-    let threads = par::thread_count();
+    let threads = par::pool_size();
     let src = workload(n);
     let scale = 0.037; // typical activation scale
     let reps = 3;
@@ -280,6 +424,19 @@ pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
     }
     json.push_str("  ],\n");
 
+    let gemm_rows = run_gemm_bench();
+    json.push_str("  \"gemm\": [\n");
+    for (i, g) in gemm_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"naive_mflops\": {:.1}, \"packed_mflops\": {:.1}, \"speedup\": {:.2}}}",
+            g.shape, g.m, g.k, g.n, g.naive_mflops, g.packed_mflops, g.speedup
+        );
+        json.push_str(if i + 1 < gemm_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+
     let sweep = run_sweep_bench(quick);
     json.push_str("  \"sweep\": {\n");
     let names: Vec<String> = sweep.models.iter().map(|m| format!("\"{m}\"")).collect();
@@ -297,7 +454,21 @@ pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
         "    \"parallel_plan_secs\": {:.4},",
         sweep.parallel_plan_secs
     );
-    let _ = writeln!(json, "    \"speedup\": {:.2}", sweep.speedup);
+    let _ = writeln!(json, "    \"speedup\": {:.2},", sweep.speedup);
+    json.push_str("    \"per_format\": [\n");
+    for (i, pf) in sweep.per_format.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"format\": \"{}\", \"serial_secs\": {:.4}, \"parallel_secs\": {:.4}}}",
+            pf.format, pf.serial_secs, pf.parallel_secs
+        );
+        json.push_str(if i + 1 < sweep.per_format.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_ptq.json", &json).expect("write BENCH_ptq.json");
     println!("wrote BENCH_ptq.json");

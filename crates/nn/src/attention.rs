@@ -193,8 +193,10 @@ impl Layer for Embedding {
         let (n, t) = (x.shape()[0], x.shape()[1]);
         let d = self.dim;
         // Override order matches `visit_params`: table, then pos.
-        let table = ctx.next_override().unwrap_or(&self.table.value);
-        let pos_tab = ctx.next_override().unwrap_or(&self.pos.value);
+        let table = ctx
+            .next_override()
+            .map_or(&self.table.value, |pw| &pw.value);
+        let pos_tab = ctx.next_override().map_or(&self.pos.value, |pw| &pw.value);
         debug_assert_eq!(table.shape(), self.table.value.shape());
         debug_assert_eq!(pos_tab.shape(), self.pos.value.shape());
         let vocab = table.shape()[0];

@@ -9,7 +9,51 @@
 
 use crate::param::{ParamVisitor, RefParamVisitor};
 use crate::site::{Site, SiteId, SiteTable};
-use mersit_tensor::Tensor;
+use mersit_tensor::{PackedRhs, Tensor};
+
+/// One planned weight override: the quantized value tensor plus,
+/// for weights consumed as the rhs of a `x · Wᵀ` GEMM (see
+/// [`crate::param::Param::gemm_rhs`]), the same values pre-packed into
+/// cache-blocked panels so every forward skips the transpose + pack.
+/// The packed panels are **derived** from `value` — bit-identical math,
+/// packed once per plan instead of once per sample.
+#[derive(Debug, Clone)]
+pub struct PlanWeight {
+    /// The override value (what non-GEMM consumers read).
+    pub value: Tensor,
+    /// `value` packed as the `[in, out]` rhs of `x · Wᵀ`, when the
+    /// parameter is a rank-2 GEMM rhs.
+    pub packed_t: Option<PackedRhs>,
+}
+
+impl PlanWeight {
+    /// An override with no packed form (embeddings, depthwise kernels,
+    /// rank-≠2 weights).
+    #[must_use]
+    pub fn plain(value: Tensor) -> Self {
+        Self {
+            value,
+            packed_t: None,
+        }
+    }
+
+    /// An override pre-packed as a GEMM rhs. `value` must be the usual
+    /// `[out, in]` weight layout; the panels describe its transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `value` is rank 2.
+    #[must_use]
+    pub fn packed_rhs(value: Tensor) -> Self {
+        assert_eq!(value.shape().len(), 2, "GEMM rhs weight must be rank 2");
+        let (out_dim, in_dim) = (value.shape()[0], value.shape()[1]);
+        let packed = PackedRhs::pack_t(value.data(), out_dim, in_dim);
+        Self {
+            value,
+            packed_t: Some(packed),
+        }
+    }
+}
 
 /// Observer/transformer of inter-layer activations.
 ///
@@ -42,7 +86,7 @@ pub struct Ctx<'a> {
     marks: Vec<usize>,
     tap: Option<&'a mut dyn Tap>,
     mode: SiteMode<'a>,
-    overrides: Option<&'a [Tensor]>,
+    overrides: Option<&'a [PlanWeight]>,
     override_cursor: usize,
 }
 
@@ -95,7 +139,7 @@ impl<'a> Ctx<'a> {
     /// Attaches planned weight overrides: layers consume one slot per
     /// rank-≥2 parameter, in `visit_params` order (builder style).
     #[must_use]
-    pub fn with_overrides(mut self, weights: &'a [Tensor]) -> Self {
+    pub fn with_overrides(mut self, weights: &'a [PlanWeight]) -> Self {
         self.overrides = Some(weights);
         self.override_cursor = 0;
         self
@@ -127,7 +171,7 @@ impl<'a> Ctx<'a> {
     /// when the context carries no plan. Layers call this exactly once per
     /// rank-≥2 parameter, in `visit_params` order, which is the order the
     /// plan builder filled the slots in.
-    pub fn next_override(&mut self) -> Option<&'a Tensor> {
+    pub fn next_override(&mut self) -> Option<&'a PlanWeight> {
         let slice = self.overrides?;
         let i = self.override_cursor;
         assert!(
@@ -334,12 +378,14 @@ mod tests {
 
     #[test]
     fn overrides_consumed_in_order() {
-        let a = Tensor::full(&[1], 1.0);
-        let b = Tensor::full(&[1], 2.0);
+        let a = PlanWeight::plain(Tensor::full(&[1], 1.0));
+        let b = PlanWeight::packed_rhs(Tensor::full(&[1, 1], 2.0));
         let slots = [a, b];
         let mut c = Ctx::inference().with_overrides(&slots);
-        assert_eq!(c.next_override().unwrap().data(), &[1.0]);
-        assert_eq!(c.next_override().unwrap().data(), &[2.0]);
+        assert_eq!(c.next_override().unwrap().value.data(), &[1.0]);
+        let second = c.next_override().unwrap();
+        assert_eq!(second.value.data(), &[2.0]);
+        assert!(second.packed_t.is_some());
         assert_eq!(c.overrides_consumed(), 2);
         let mut plain = Ctx::inference();
         assert!(plain.next_override().is_none());

@@ -4,9 +4,9 @@
 use crate::layer::{join_path, Ctx, Layer};
 use crate::param::{Param, ParamVisitor, RefParamVisitor};
 use mersit_tensor::{
-    add_channel_bias, col2im, conv2d, dims4, dwconv2d, dwconv2d_backward, global_avg_pool,
-    global_avg_pool_backward, im2col, maxpool2d, maxpool2d_backward, nchw_to_rows, rows_to_nchw,
-    ConvSpec, Rng, Tensor,
+    add_channel_bias, col2im, conv2d, conv2d_packed, dims4, dwconv2d, dwconv2d_backward,
+    global_avg_pool, global_avg_pool_backward, im2col, maxpool2d, maxpool2d_backward, nchw_to_rows,
+    rows_to_nchw, ConvSpec, PackedRhs, Rng, Tensor,
 };
 
 /// Fully connected layer `y = x·Wᵀ + b`, applied over the last dimension.
@@ -27,7 +27,7 @@ impl Linear {
     #[must_use]
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
         Self {
-            w: Param::new(Tensor::kaiming(&[out_dim, in_dim], in_dim, rng)),
+            w: Param::new_gemm_rhs(Tensor::kaiming(&[out_dim, in_dim], in_dim, rng)),
             b: Param::new(Tensor::zeros(&[out_dim])),
             in_dim,
             out_dim,
@@ -48,9 +48,15 @@ impl Linear {
         x.clone().reshape(&[rows, self.in_dim])
     }
 
-    /// `x2·wᵀ + b` over pre-flattened `[rows, in]` input.
-    fn apply(&self, x2: &Tensor, w: &Tensor) -> Tensor {
-        let mut y = x2.matmul(&w.transpose());
+    /// `x2·wᵀ + b` over pre-flattened `[rows, in]` input. With a packed
+    /// panel form of `wᵀ` (from a plan's [`crate::layer::PlanWeight`])
+    /// the transpose + per-call pack are skipped; results are
+    /// bit-identical either way.
+    fn apply(&self, x2: &Tensor, w: &Tensor, packed: Option<&PackedRhs>) -> Tensor {
+        let mut y = match packed {
+            Some(p) => x2.matmul_packed(p),
+            None => x2.matmul(&w.transpose()),
+        };
         // Broadcast bias over rows.
         let bd = self.b.value.data();
         for r in 0..y.shape()[0] {
@@ -70,7 +76,7 @@ impl Layer for Linear {
         }
         let shape = x.shape().to_vec();
         let x2 = self.flatten_input(&x);
-        let y = self.apply(&x2, &self.w.value);
+        let y = self.apply(&x2, &self.w.value, None);
         self.cache_x = Some(x2);
         self.cache_shape = shape.clone();
         let mut out_shape = shape;
@@ -79,11 +85,12 @@ impl Layer for Linear {
     }
 
     fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
-        let w = ctx.next_override().unwrap_or(&self.w.value);
+        let ov = ctx.next_override();
+        let w = ov.map_or(&self.w.value, |pw| &pw.value);
         debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
         let shape = x.shape().to_vec();
         let x2 = self.flatten_input(&x);
-        let y = self.apply(&x2, w);
+        let y = self.apply(&x2, w, ov.and_then(|pw| pw.packed_t.as_ref()));
         let mut out_shape = shape;
         *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
         y.reshape(&out_shape)
@@ -153,7 +160,7 @@ impl Conv2d {
     ) -> Self {
         let fan_in = in_ch * k * k;
         Self {
-            w: Param::new(Tensor::kaiming(&[out_ch, fan_in], fan_in, rng)),
+            w: Param::new_gemm_rhs(Tensor::kaiming(&[out_ch, fan_in], fan_in, rng)),
             b: Param::new(Tensor::zeros(&[out_ch])),
             spec: ConvSpec::new(k, stride, pad),
             in_ch,
@@ -191,8 +198,12 @@ impl Layer for Conv2d {
     }
 
     fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
-        let w = ctx.next_override().unwrap_or(&self.w.value);
+        let ov = ctx.next_override();
+        let w = ov.map_or(&self.w.value, |pw| &pw.value);
         debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
+        if let Some(p) = ov.and_then(|pw| pw.packed_t.as_ref()) {
+            return conv2d_packed(&x, p, Some(&self.b.value), &self.spec);
+        }
         conv2d(&x, w, Some(&self.b.value), &self.spec)
     }
 
@@ -268,7 +279,7 @@ impl Layer for DwConv2d {
     }
 
     fn forward_ref(&self, x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
-        let w = ctx.next_override().unwrap_or(&self.w.value);
+        let w = ctx.next_override().map_or(&self.w.value, |pw| &pw.value);
         debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
         let mut y = dwconv2d(&x, w, &self.spec);
         add_channel_bias(&mut y, &self.b.value);

@@ -10,6 +10,10 @@ pub struct Param {
     pub value: Tensor,
     /// Gradient accumulated by the last backward pass.
     pub grad: Tensor,
+    /// True when inference consumes this parameter as the rhs of a
+    /// `x · Wᵀ` GEMM (Linear / im2col Conv2d weights), so plan builders
+    /// know to pre-pack it into [`mersit_tensor::PackedRhs`] panels.
+    pub gemm_rhs: bool,
 }
 
 impl Param {
@@ -17,7 +21,20 @@ impl Param {
     #[must_use]
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
-        Self { value, grad }
+        Self {
+            value,
+            grad,
+            gemm_rhs: false,
+        }
+    }
+
+    /// [`Param::new`], flagged as a GEMM rhs weight (see
+    /// [`Param::gemm_rhs`]).
+    #[must_use]
+    pub fn new_gemm_rhs(value: Tensor) -> Self {
+        let mut p = Self::new(value);
+        p.gemm_rhs = true;
+        p
     }
 
     /// Zeroes the gradient.

@@ -292,6 +292,8 @@ pub mod collection {
     }
 
     /// `prop::collection::vec(element, size)`.
+    // By-value `size` mirrors the real proptest signature.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
         let (lo, hi) = size.bounds();
         VecStrategy { element, lo, hi }

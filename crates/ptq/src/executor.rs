@@ -46,7 +46,7 @@
 use crate::calibrate::Calibration;
 use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_anchor, site_scale};
 use mersit_core::{Format, FormatRef};
-use mersit_nn::{argmax_rows, Ctx, InputKind, Layer, Model, Site, SiteTable, Tap};
+use mersit_nn::{argmax_rows, Ctx, InputKind, Layer, Model, PlanWeight, Site, SiteTable, Tap};
 use mersit_tensor::{par, Tensor};
 
 /// Snapshot of model weights for restore-after-quantization.
@@ -198,15 +198,17 @@ pub fn evaluate_format(
 }
 
 /// A compiled, immutable evaluation plan for one (model, format) pair:
-/// plan-owned quantized weight tensors (rank-≥2 slots in parameter-visit
-/// order) plus dense per-site activation scales. Building the plan never
-/// mutates the model, and [`QuantPlan::predict`] needs only `&` access —
-/// so plans for different formats run concurrently over one model, and
-/// batch shards run concurrently inside one plan.
+/// plan-owned quantized weight slots (rank-≥2, in parameter-visit order)
+/// plus dense per-site activation scales. GEMM-rhs weights (Linear /
+/// im2col Conv2d) are additionally pre-packed into cache-blocked panels
+/// at build time — once per format, not once per sample. Building the
+/// plan never mutates the model, and [`QuantPlan::predict`] needs only
+/// `&` access — so plans for different formats run concurrently over one
+/// model, and batch shards run concurrently inside one plan.
 #[derive(Debug)]
 pub struct QuantPlan {
     fmt: FormatRef,
-    weights: Vec<Tensor>,
+    weights: Vec<PlanWeight>,
     scales: Vec<Option<f64>>,
     sites: SiteTable,
     input_scale: Option<f64>,
@@ -236,7 +238,12 @@ impl QuantPlan {
         model.net.visit_params_ref("", &mut |_, p| {
             if p.value.shape().len() >= 2 {
                 mersit_obs::incr("ptq.weights.tensors");
-                weights.push(quantize_per_channel(fmt.as_ref(), &p.value));
+                let q = quantize_per_channel(fmt.as_ref(), &p.value);
+                weights.push(if p.gemm_rhs && q.shape().len() == 2 {
+                    PlanWeight::packed_rhs(q)
+                } else {
+                    PlanWeight::plain(q)
+                });
             }
         });
         let anchor = scale_anchor(fmt.as_ref());

@@ -1,0 +1,360 @@
+//! Packed, cache-blocked GEMM micro-kernel for the inference hot path.
+//!
+//! The PTQ sweep spends nearly all of its wall-clock in
+//! `[m,k]·[k,n]` matmuls (im2col convolutions and linear layers), so the
+//! rhs is packed once into cache-friendly column panels ([`PackedRhs`])
+//! and the product is tiled over i/k with a register-blocked
+//! [`MR`]×[`NR`] micro-kernel ([`gemm_rows`]). Weight matrices that are
+//! reused across many forwards (a `QuantPlan`'s per-format copies) pack
+//! **once per plan** via [`PackedRhs::pack_t`], not once per sample.
+//!
+//! # Bit-identity invariant
+//!
+//! Every kernel here produces outputs **bit-identical** to the serial
+//! i-k-j reference ([`matmul_naive_rows`]) for every shape, tile size,
+//! and thread split. Per output element `(i, j)` the additions happen in
+//! exactly the order `out += a[i][0]·b[0][j], a[i][1]·b[1][j], …`:
+//!
+//! * k-blocking keeps the order because each block loads the current
+//!   `out` value into a register accumulator, adds its `kk` range in
+//!   ascending order, and stores back — the same prefix-sum sequence,
+//!   just materialized to memory every [`KC`] steps;
+//! * packing is a pure copy (tail panels are zero-padded; their
+//!   accumulator lanes are computed but never stored);
+//! * the row split across threads never crosses an output element.
+//!
+//! Pinned by `tests/gemm_props.rs` across random shapes, the tile
+//! boundaries of [`MR`]/[`NR`]/[`KC`]/[`MC`], and explicit thread counts.
+
+/// Micro-kernel panel width (output columns per register block). Eight
+/// f32 lanes = one AVX2 vector; the inner loop is written over the full
+/// fixed width so it autovectorizes.
+pub const NR: usize = 8;
+
+/// Micro-kernel height (output rows per register block): 4×8 f32
+/// accumulators stay comfortably within 16 vector registers.
+pub const MR: usize = 4;
+
+/// k-dimension block: one [`KC`]×[`NR`] panel strip (8 KiB) stays
+/// L1-resident while a row block streams over it.
+pub const KC: usize = 256;
+
+/// i-dimension block: bounds the lhs rows (up to [`MC`]·[`KC`]·4 B =
+/// 64 KiB) re-read per panel sweep to roughly L2 size.
+pub const MC: usize = 64;
+
+/// Below this many output rows the per-call panel packing (`k·n` copies
+/// vs `m·k·n` multiplies) is not amortized and [`crate::Tensor::matmul`]
+/// keeps the direct naive kernel.
+pub(crate) const PACK_MIN_ROWS: usize = 2 * MR;
+
+/// The rhs of a GEMM, repacked into [`NR`]-wide column panels:
+/// `data[p·k·NR + kk·NR + j]` holds `B[kk][p·NR + j]`, with the tail
+/// panel zero-padded. The micro-kernel then streams each panel
+/// contiguously instead of striding `n`-wide rows.
+#[derive(Clone)]
+pub struct PackedRhs {
+    data: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl std::fmt::Debug for PackedRhs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PackedRhs[{}x{}, {} panels]",
+            self.k,
+            self.n,
+            self.panels()
+        )
+    }
+}
+
+impl PackedRhs {
+    /// Packs a row-major `[k, n]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k * n`.
+    #[must_use]
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "rhs buffer does not match [{k}, {n}]");
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0.0f32; panels * k * NR];
+        for (p, panel) in data.chunks_exact_mut((k * NR).max(1)).enumerate() {
+            let j0 = p * NR;
+            let nr = NR.min(n - j0);
+            for kk in 0..k {
+                panel[kk * NR..kk * NR + nr].copy_from_slice(&b[kk * n + j0..kk * n + j0 + nr]);
+            }
+        }
+        Self { data, k, n }
+    }
+
+    /// Packs the transpose of a row-major `[n, k]` matrix — i.e. `bt`
+    /// holds `Bᵀ` and the panels describe `B` — without materializing
+    /// the transpose. This is the weight-matrix entry point: layers
+    /// store `W` as `[out, in]` and consume it as the `[in, out]` rhs of
+    /// `x·Wᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bt.len() != n * k`.
+    #[must_use]
+    pub fn pack_t(bt: &[f32], n: usize, k: usize) -> Self {
+        assert_eq!(bt.len(), n * k, "rhs buffer does not match [{n}, {k}]");
+        let panels = n.div_ceil(NR);
+        let mut data = vec![0.0f32; panels * k * NR];
+        for (p, panel) in data.chunks_exact_mut((k * NR).max(1)).enumerate() {
+            let j0 = p * NR;
+            let nr = NR.min(n - j0);
+            for (dj, col) in bt[j0 * k..(j0 + nr) * k].chunks_exact(k.max(1)).enumerate() {
+                for (kk, &v) in col.iter().enumerate() {
+                    panel[kk * NR + dj] = v;
+                }
+            }
+        }
+        Self { data, k, n }
+    }
+
+    /// Inner (k) dimension of the packed matrix.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column (n) dimension of the packed matrix.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn panels(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+}
+
+/// Serial i-k-j reference kernel over `rows = out.len() / n` rows:
+/// `out[i][j] += a[i][kk] · b[kk][j]` with `kk` ascending — the
+/// accumulation order every other kernel in this module reproduces
+/// bit-for-bit. `out` is accumulated into (callers pass zeros).
+pub fn matmul_naive_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Register-blocked `M`×[`NR`] tile for a **full** panel (`nr == NR`):
+/// loads the current `out` values (unless this is the first k block),
+/// accumulates `kk ∈ [kb, kend)` in ascending order, stores back.
+/// Monomorphized per row count, and every access into the accumulator
+/// array is constant-size — that is what lets SRoA promote `acc` to
+/// vector registers instead of round-tripping the stack (a
+/// variable-length `copy_from_slice` here de-vectorizes the whole
+/// kernel; the tail panel pays that price in [`micro_edge`] instead).
+#[inline(always)] // hot micro-kernel: inlining lets LLVM hoist tile bases
+#[allow(clippy::inline_always, clippy::too_many_arguments)]
+fn micro_full<const M: usize>(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    kb: usize,
+    kend: usize,
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; M];
+    if !first {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let base = (i0 + r) * n + j0;
+            let orow: &[f32; NR] = (&out[base..base + NR]).try_into().unwrap();
+            *accr = *orow;
+        }
+    }
+    for kk in kb..kend {
+        // Fixed-size array refs give the lane loop a static trip count
+        // and no bounds checks, so it vectorizes.
+        let bp: &[f32; NR] = panel[kk * NR..kk * NR + NR].try_into().unwrap();
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * k + kk];
+            for j in 0..NR {
+                accr[j] += av * bp[j];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let base = (i0 + r) * n + j0;
+        let orow: &mut [f32; NR] = (&mut out[base..base + NR]).try_into().unwrap();
+        *orow = *accr;
+    }
+}
+
+/// Tail-panel variant of [`micro_full`] for `nr < NR` output columns
+/// (at most one panel per matrix, so throughput is irrelevant): padded
+/// lanes compute against the panel's zero padding and are never stored.
+#[inline(always)] // same codegen contract as micro_full
+#[allow(clippy::inline_always, clippy::too_many_arguments)]
+fn micro_edge<const M: usize>(
+    a: &[f32],
+    k: usize,
+    n: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    nr: usize,
+    kb: usize,
+    kend: usize,
+    first: bool,
+) {
+    // The variable-length `out` copies go through `staged`, a separate
+    // memory-homed buffer; `acc` itself only ever sees constant-size
+    // accesses (whole-array copies and unrolled lanes), so SRoA can
+    // still promote it to registers and the compute loop vectorizes.
+    let mut staged = [[0.0f32; NR]; M];
+    if !first {
+        for (r, row) in staged.iter_mut().enumerate() {
+            let orow = &out[(i0 + r) * n + j0..];
+            row[..nr].copy_from_slice(&orow[..nr]);
+        }
+    }
+    let mut acc = staged;
+    for kk in kb..kend {
+        let bp: &[f32; NR] = panel[kk * NR..kk * NR + NR].try_into().unwrap();
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r) * k + kk];
+            for j in 0..NR {
+                accr[j] += av * bp[j];
+            }
+        }
+    }
+    staged = acc;
+    for (r, row) in staged.iter().enumerate() {
+        let orow = &mut out[(i0 + r) * n + j0..];
+        orow[..nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+/// Cache-blocked product of `rows = out.len() / packed.n()` lhs rows
+/// (`a`, row-major `rows`×`k`) against a packed rhs, accumulating into
+/// `out` (zeroed by the caller). Bit-identical to
+/// [`matmul_naive_rows`] on the unpacked rhs — see the module docs.
+///
+/// # Panics
+///
+/// Debug-panics when `a`/`out` lengths are inconsistent with `k` and
+/// the packed dimensions.
+pub fn gemm_rows(a: &[f32], k: usize, packed: &PackedRhs, out: &mut [f32]) {
+    let n = packed.n;
+    if n == 0 || k == 0 {
+        return;
+    }
+    debug_assert_eq!(packed.k, k, "packed rhs k mismatch");
+    let rows = out.len() / n;
+    debug_assert_eq!(a.len(), rows * k, "lhs rows mismatch");
+    for kb in (0..k).step_by(KC) {
+        let kend = (kb + KC).min(k);
+        let first = kb == 0;
+        for ib in (0..rows).step_by(MC) {
+            let iend = (ib + MC).min(rows);
+            for p in 0..packed.panels() {
+                let j0 = p * NR;
+                let nr = NR.min(n - j0);
+                let panel = &packed.data[p * k * NR..(p + 1) * k * NR];
+                let mut i = ib;
+                while i < iend {
+                    let mr = MR.min(iend - i);
+                    if nr == NR {
+                        match mr {
+                            4 => micro_full::<4>(a, k, n, panel, out, i, j0, kb, kend, first),
+                            3 => micro_full::<3>(a, k, n, panel, out, i, j0, kb, kend, first),
+                            2 => micro_full::<2>(a, k, n, panel, out, i, j0, kb, kend, first),
+                            _ => micro_full::<1>(a, k, n, panel, out, i, j0, kb, kend, first),
+                        }
+                    } else {
+                        match mr {
+                            4 => micro_edge::<4>(a, k, n, panel, out, i, j0, nr, kb, kend, first),
+                            3 => micro_edge::<3>(a, k, n, panel, out, i, j0, nr, kb, kend, first),
+                            2 => micro_edge::<2>(a, k, n, panel, out, i, j0, nr, kb, kend, first),
+                            _ => micro_edge::<1>(a, k, n, panel, out, i, j0, nr, kb, kend, first),
+                        }
+                    }
+                    i += mr;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn compare(m: usize, k: usize, n: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal() as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal() as f32).collect();
+        let mut want = vec![0.0f32; m * n];
+        matmul_naive_rows(&a, k, &b, n, &mut want);
+        let packed = PackedRhs::pack(&b, k, n);
+        let mut got = vec![0.0f32; m * n];
+        gemm_rows(&a, k, &packed, &mut got);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "[{m},{k},{n}] elem {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 9, 11),
+            (MR + 1, KC + 1, NR + 1),
+            (MC + 3, 40, 2 * NR + 5),
+        ] {
+            compare(m, k, n, 7 + (m * 31 + k * 7 + n) as u64);
+        }
+    }
+
+    #[test]
+    fn pack_t_equals_pack_of_transpose() {
+        let mut rng = Rng::new(41);
+        let (n, k) = (13, 21);
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.normal() as f32).collect();
+        // Materialized transpose: b[kk][j] = bt[j][kk].
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let from_t = PackedRhs::pack_t(&bt, n, k);
+        let direct = PackedRhs::pack(&b, k, n);
+        assert_eq!(from_t.data, direct.data);
+    }
+
+    #[test]
+    fn degenerate_dims_leave_zeros() {
+        let packed = PackedRhs::pack(&[], 0, 5);
+        let mut out = vec![0.0f32; 3 * 5];
+        gemm_rows(&[], 0, &packed, &mut out);
+        assert!(out.iter().all(|v| v.to_bits() == 0));
+    }
+}

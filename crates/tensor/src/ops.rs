@@ -179,6 +179,33 @@ pub fn conv2d(x: &Tensor, w: &Tensor, bias: Option<&Tensor>, spec: &ConvSpec) ->
     out
 }
 
+/// [`conv2d`] against a pre-packed weight: `w_t` is the `[C·KH·KW, OC]`
+/// rhs (i.e. `PackedRhs::pack_t` of the usual `[OC, C·KH·KW]` weight),
+/// packed once and reused across samples. Bit-identical to [`conv2d`]
+/// on the unpacked weight.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes.
+#[must_use]
+pub fn conv2d_packed(
+    x: &Tensor,
+    w_t: &crate::gemm::PackedRhs,
+    bias: Option<&Tensor>,
+    spec: &ConvSpec,
+) -> Tensor {
+    let (n, _c, h, ww) = dims4(x);
+    let (oh, ow) = spec.out_hw(h, ww);
+    let oc = w_t.n();
+    let col = im2col(x, spec);
+    let rows = col.matmul_packed(w_t);
+    let mut out = rows_to_nchw(&rows, n, oc, oh, ow);
+    if let Some(b) = bias {
+        add_channel_bias(&mut out, b);
+    }
+    out
+}
+
 /// Adds a per-channel bias to an NCHW tensor in place.
 ///
 /// # Panics

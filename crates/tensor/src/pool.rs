@@ -1,0 +1,313 @@
+//! Persistent worker pool behind [`crate::par`]: lazily spawned once,
+//! sized by [`crate::par::thread_count`], parked on a condvar when idle.
+//!
+//! The old dispatch path spawned fresh OS threads under
+//! `std::thread::scope` on *every* kernel call (~10–20 µs per
+//! spawn/join); the pool replaces that with a push onto a shared task
+//! queue plus a condvar wake (~1 µs), which is what makes fine-grained
+//! parallelism inside the PTQ sweep worthwhile at all.
+//!
+//! # Design
+//!
+//! * **Chunk claiming, not chunk assignment.** A `dispatch` publishes a
+//!   task with `chunks` indivisible chunk indices; the caller and every
+//!   idle worker race to claim indices off one atomic counter
+//!   (`fetch_add`), so a slow worker never strands work — whoever is free
+//!   takes the next chunk.
+//! * **The dispatcher always participates.** `dispatch` runs the claim
+//!   loop itself before blocking, so every dispatch completes even with
+//!   zero workers (a pool of size 1, e.g. `MERSIT_THREADS=1` or a
+//!   single-core machine) and chunk execution is guaranteed to finish —
+//!   the dispatcher can only wait on chunks *already claimed* by a
+//!   worker, which that worker always finishes.
+//! * **Nested dispatch never deadlocks.** `par` routes dispatches issued
+//!   *from a pool worker* ([`is_worker_thread`]) through the serial
+//!   inline path, so a kernel called inside another kernel's chunk
+//!   cannot wait on the pool it is running on. Dispatches from non-pool
+//!   threads (including the main thread inside another task's chunk) go
+//!   to the queue as usual, where idle workers can help.
+//! * **Panics propagate.** A panicking chunk is caught on the thread
+//!   that ran it, stored in the task, and re-raised (`resume_unwind`)
+//!   on the dispatcher after the whole task completes — same observable
+//!   behavior as the scoped-thread version.
+//! * **Clean shutdown, lazy re-init.** [`shutdown`] flags the pool,
+//!   wakes and joins every worker, and drops the handle; the next
+//!   dispatch transparently builds a fresh pool (re-reading
+//!   `MERSIT_THREADS`). Shutdown concurrent with an in-flight dispatch
+//!   is safe: the dispatcher self-serves whatever the exiting workers
+//!   leave unclaimed.
+//!
+//! # Observability
+//!
+//! With `MERSIT_OBS` on: `tensor.pool.size` (workers + dispatcher,
+//! recorded once at creation), `tensor.pool.dispatches`,
+//! `tensor.pool.chunks`, and the `tensor.pool.queue_depth` histogram
+//! (queued tasks at each publish, 0 when the pool has no workers).
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+thread_local! {
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One published fan-out: `chunks` indices claimed off `next` by whoever
+/// is free, completion tracked in `done`.
+struct Task {
+    /// Type-erased `&F where F: Fn(usize) + Sync`, valid until the
+    /// dispatcher returns (it blocks on `done`, so the borrow outlives
+    /// every invocation).
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    chunks: usize,
+    next: AtomicUsize,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `data` points at an `F: Sync` borrowed by the dispatcher for
+// the task's whole lifetime (it blocks until `done == chunks`), and is
+// only ever used through `call` as `&F`.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    fn has_unclaimed(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.chunks
+    }
+
+    /// Claims and runs chunk indices until none remain.
+    fn run_claimed(&self) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.chunks {
+                return;
+            }
+            // SAFETY: each index is claimed exactly once; `data` is a
+            // live `&F` for the task's lifetime (see struct docs).
+            let r = catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.data, idx) }));
+            if let Err(p) = r {
+                self.panic.lock().unwrap().get_or_insert(p);
+            }
+            let mut done = self.done.lock().unwrap();
+            *done += 1;
+            if *done == self.chunks {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn wait_done(&self) {
+        let mut done = self.done.lock().unwrap();
+        while *done < self.chunks {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Task queue shared between the dispatchers and the workers.
+struct State {
+    tasks: Vec<Arc<Task>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Spawned worker threads (`size - 1`; the dispatcher is the rest).
+    workers: usize,
+    /// Total threads a dispatch can use (workers + the dispatcher).
+    size: usize,
+}
+
+static POOL: Mutex<Option<Arc<Inner>>> = Mutex::new(None);
+
+fn worker_loop(inner: &Inner) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        let task = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(t) = st.tasks.iter().find(|t| t.has_unclaimed()) {
+                    break t.clone();
+                }
+                st = inner.work_cv.wait(st).unwrap();
+            }
+        };
+        task.run_claimed();
+    }
+}
+
+/// The live pool, building it on first use. `MERSIT_THREADS` (via
+/// [`crate::par::thread_count`]) is read once here; later changes take
+/// effect only after a [`shutdown`].
+fn handle() -> Arc<Inner> {
+    let mut guard = POOL.lock().unwrap();
+    if let Some(inner) = guard.as_ref() {
+        return inner.clone();
+    }
+    let size = crate::par::thread_count().max(1);
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            tasks: Vec::new(),
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        handles: Mutex::new(Vec::new()),
+        workers: size - 1,
+        size,
+    });
+    let mut handles = Vec::with_capacity(size - 1);
+    for i in 0..size - 1 {
+        let worker = Arc::clone(&inner);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("mersit-pool-{i}"))
+                .spawn(move || worker_loop(&worker))
+                .expect("spawn pool worker"),
+        );
+    }
+    *inner.handles.lock().unwrap() = handles;
+    if mersit_obs::enabled() {
+        mersit_obs::add("tensor.pool.size", size as u64);
+    }
+    *guard = Some(Arc::clone(&inner));
+    inner
+}
+
+/// Number of threads the pool runs dispatches on (workers + dispatcher),
+/// initializing the pool if needed.
+#[must_use]
+pub fn size() -> usize {
+    handle().size
+}
+
+/// True on a pool worker thread. `par` uses this to run nested
+/// dispatches inline (serially) instead of re-entering the queue.
+#[must_use]
+pub fn is_worker_thread() -> bool {
+    IS_WORKER.with(Cell::get)
+}
+
+/// Runs `run(idx)` for every `idx in 0..chunks` across the pool,
+/// returning when all chunks finished. Panics from chunks are re-raised
+/// here after completion.
+pub(crate) fn dispatch<F: Fn(usize) + Sync>(chunks: usize, run: &F) {
+    /// Monomorphized un-eraser for [`Task::data`].
+    unsafe fn trampoline<F: Fn(usize) + Sync>(p: *const (), idx: usize) {
+        unsafe { (*p.cast::<F>())(idx) }
+    }
+    let task = Arc::new(Task {
+        data: std::ptr::from_ref(run).cast::<()>(),
+        call: trampoline::<F>,
+        chunks,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let inner = handle();
+    let obs_on = mersit_obs::enabled();
+    if obs_on {
+        mersit_obs::incr("tensor.pool.dispatches");
+        mersit_obs::add("tensor.pool.chunks", chunks as u64);
+    }
+    let queued = inner.workers > 0;
+    if queued {
+        let mut st = inner.state.lock().unwrap();
+        st.tasks.push(Arc::clone(&task));
+        if obs_on {
+            mersit_obs::observe("tensor.pool.queue_depth", st.tasks.len() as f64);
+        }
+        drop(st);
+        inner.work_cv.notify_all();
+    } else if obs_on {
+        mersit_obs::observe("tensor.pool.queue_depth", 0.0);
+    }
+    task.run_claimed();
+    task.wait_done();
+    if queued {
+        let mut st = inner.state.lock().unwrap();
+        st.tasks.retain(|t| !Arc::ptr_eq(t, &task));
+    }
+    let payload = task.panic.lock().unwrap().take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+/// Stops and joins every worker and drops the pool handle. The next
+/// dispatch lazily builds a fresh pool (re-reading `MERSIT_THREADS`).
+/// Safe to call concurrently with in-flight dispatches: their
+/// dispatchers self-serve whatever the exiting workers leave unclaimed.
+pub fn shutdown() {
+    let inner = POOL.lock().unwrap().take();
+    let Some(inner) = inner else { return };
+    inner.state.lock().unwrap().shutdown = true;
+    inner.work_cv.notify_all();
+    let handles = std::mem::take(&mut *inner.handles.lock().unwrap());
+    for h in handles {
+        h.join().expect("pool worker exited abnormally");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        dispatch(hits.len(), &|idx| {
+            hits[idx].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn zero_chunk_dispatch_is_a_noop() {
+        let ran = AtomicU64::new(0);
+        dispatch(0, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn panic_in_chunk_reaches_dispatcher() {
+        let caught = std::panic::catch_unwind(|| {
+            dispatch(4, &|idx| assert!(idx != 2, "boom at {idx}"));
+        });
+        let payload = caught.expect_err("chunk panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 2"), "payload was {msg:?}");
+        // The pool survives a panicking task.
+        let ran = AtomicU64::new(0);
+        dispatch(3, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn size_is_positive_and_stable() {
+        let s = size();
+        assert!(s >= 1);
+        assert_eq!(size(), s);
+    }
+}

@@ -1,6 +1,7 @@
 //! A minimal dense `f32` tensor: row-major contiguous storage with shape
 //! metadata — just enough to run and train the paper's miniature DNNs.
 
+use crate::gemm;
 use crate::par;
 use crate::rng::Rng;
 use std::fmt;
@@ -295,6 +296,13 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
     ///
+    /// Large products pack the rhs into cache-blocked panels
+    /// ([`crate::gemm::PackedRhs`]) and run the register-blocked kernel;
+    /// small row counts keep the direct i-k-j loop (packing is not
+    /// amortized). Both paths accumulate each output element in the same
+    /// ascending-k order, so the result is bit-identical for every shape,
+    /// path, and thread count.
+    ///
     /// # Panics
     ///
     /// Panics unless both tensors are rank 2 with matching inner dims.
@@ -305,26 +313,56 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        if m < gemm::PACK_MIN_ROWS {
+            let mut out = vec![0.0f32; m * n];
+            let lhs = &self.data;
+            let rhs = &other.data;
+            if n > 0 {
+                par::par_chunks_mut(&mut out, n, par::min_units(2 * k * n), |i0, chunk| {
+                    let rows = chunk.len() / n;
+                    gemm::matmul_naive_rows(&lhs[i0 * k..(i0 + rows) * k], k, rhs, n, chunk);
+                });
+            }
+            return Self {
+                data: out,
+                shape: vec![m, n],
+            };
+        }
+        let packed = gemm::PackedRhs::pack(&other.data, k, n);
+        self.matmul_packed(&packed)
+    }
+
+    /// Matrix product against a pre-packed rhs: `[m,k] × packed[k,n] →
+    /// [m,n]`. Pack weight matrices once (e.g. per `QuantPlan` format)
+    /// and reuse across samples. Bit-identical to [`Self::matmul`] on
+    /// the unpacked rhs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is rank 2 with inner dim `packed.k()`.
+    #[must_use]
+    pub fn matmul_packed(&self, packed: &gemm::PackedRhs) -> Self {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = packed.n();
+        assert_eq!(
+            k,
+            packed.k(),
+            "inner dimension mismatch: {k} vs {}",
+            packed.k()
+        );
         let mut out = vec![0.0f32; m * n];
         let lhs = &self.data;
-        let rhs = &other.data;
-        // Output rows are independent, so the row range is split across
-        // threads; each row accumulates in the same k order regardless of
-        // the split, keeping results bit-identical for any thread count.
-        par::par_chunks_mut(&mut out, n, par::min_units(2 * k * n), |i0, chunk| {
-            for (di, orow) in chunk.chunks_mut(n).enumerate() {
-                let i = i0 + di;
-                let arow = &lhs[i * k..(i + 1) * k];
-                // i-k-j loop order: streams the rhs row-wise (cache
-                // friendly) with a branch-free inner loop.
-                for (kk, &a) in arow.iter().enumerate() {
-                    let brow = &rhs[kk * n..(kk + 1) * n];
-                    for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        if n > 0 {
+            // Output rows are independent, so the row range is split
+            // across threads; each row accumulates in the same k order
+            // regardless of the split, keeping results bit-identical for
+            // any thread count.
+            par::par_chunks_mut(&mut out, n, par::min_units(2 * k * n), |i0, chunk| {
+                let rows = chunk.len() / n;
+                gemm::gemm_rows(&lhs[i0 * k..(i0 + rows) * k], k, packed, chunk);
+            });
+        }
         Self {
             data: out,
             shape: vec![m, n],

@@ -45,12 +45,26 @@ fn par_workers_record_exactly_one_span_per_chunk() {
         "every unit accounted for exactly once"
     );
 
-    let spawned = snap
+    let dispatches = snap
         .counters
         .iter()
-        .find(|c| c.name == "tensor.par.threads_spawned")
-        .expect("spawn counter recorded");
-    assert_eq!(spawned.value, threads as u64);
+        .find(|c| c.name == "tensor.pool.dispatches")
+        .expect("pool dispatch counter recorded");
+    assert_eq!(dispatches.value, 1);
+
+    let pool_chunks = snap
+        .counters
+        .iter()
+        .find(|c| c.name == "tensor.pool.chunks")
+        .expect("pool chunk counter recorded");
+    assert_eq!(pool_chunks.value, threads as u64);
+
+    let queue_depth = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "tensor.pool.queue_depth")
+        .expect("queue-depth histogram recorded");
+    assert_eq!(queue_depth.stats.count, 1);
 
     // Instrumentation must not change the computation.
     for (i, &v) in data.iter().enumerate() {

@@ -1,0 +1,83 @@
+//! Stress and lifecycle tests for the persistent worker pool: many small
+//! dispatches, nested dispatch from inside a chunk, panic recovery, and
+//! shutdown-then-reinit. One `#[test]` fn — the pool and the obs registry
+//! are process-global, and `pool::shutdown` mid-dispatch of a *parallel*
+//! sibling test would skew its obs assertions' timing expectations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mersit_tensor::{par_chunks_mut_with, pool, pool_size};
+
+#[test]
+fn pool_lifecycle_and_stress() {
+    // Warm the pool and pin its size invariants.
+    let size = pool_size();
+    assert!(size >= 1);
+    assert!(!pool::is_worker_thread(), "test runs on the main thread");
+
+    // Many small dispatches: the pool must survive rapid-fire publish /
+    // complete cycles without leaking queue entries or dropping chunks.
+    let counter = AtomicUsize::new(0);
+    for round in 0..2000 {
+        let mut data = vec![0u8; 16];
+        par_chunks_mut_with(4, &mut data, 1, 1, |_, chunk| {
+            counter.fetch_add(chunk.len(), Ordering::Relaxed);
+            for x in chunk.iter_mut() {
+                *x = 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1), "round {round}");
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 2000 * 16);
+
+    // Nested dispatch: an inner par call inside an outer chunk must
+    // complete (inline-serial on pool workers, queued otherwise) and
+    // produce the same bytes as the flat loop.
+    let mut outer = vec![0u32; 8 * 4];
+    par_chunks_mut_with(4, &mut outer, 4, 1, |first, chunk| {
+        let mut inner = vec![0u32; 32];
+        par_chunks_mut_with(3, &mut inner, 1, 1, |f2, c2| {
+            for (i, x) in c2.iter_mut().enumerate() {
+                *x = (f2 + i) as u32;
+            }
+        });
+        for (u, block) in chunk.chunks_mut(4).enumerate() {
+            for (j, x) in block.iter_mut().enumerate() {
+                *x = inner[(first + u) * 4 + j];
+            }
+        }
+    });
+    let want: Vec<u32> = (0..32).collect();
+    assert_eq!(outer, want);
+
+    // Panic in a chunk propagates to the dispatcher, and the pool stays
+    // usable afterwards.
+    let caught = std::panic::catch_unwind(|| {
+        let mut data = vec![0u8; 8];
+        par_chunks_mut_with(4, &mut data, 1, 1, |first, _| {
+            assert!(first != 2, "stress boom {first}");
+        });
+    });
+    assert!(caught.is_err(), "chunk panic must reach the caller");
+    let mut data = vec![0u8; 8];
+    par_chunks_mut_with(4, &mut data, 1, 1, |_, chunk| {
+        for x in chunk.iter_mut() {
+            *x = 7;
+        }
+    });
+    assert!(data.iter().all(|&x| x == 7), "pool usable after panic");
+
+    // Shutdown joins the workers; the next dispatch transparently builds
+    // a fresh pool of the same (env-derived) size.
+    pool::shutdown();
+    pool::shutdown(); // idempotent
+    let mut data = vec![0u16; 64];
+    par_chunks_mut_with(4, &mut data, 1, 1, |first, chunk| {
+        for (i, x) in chunk.iter_mut().enumerate() {
+            *x = (first + i) as u16;
+        }
+    });
+    let want: Vec<u16> = (0..64).collect();
+    assert_eq!(data, want, "dispatch after shutdown re-initializes");
+    assert_eq!(pool_size(), size, "re-init reads the same environment");
+}

@@ -1,19 +1,45 @@
 //! Workspace-root entry point for the quantization-engine throughput
 //! sweep, so `cargo run --release --bin perf_ptq` works from the root.
 //!
-//! Usage: `perf_ptq [n_elements] [--quick]` (default 2^21 ≈ 2.1M
-//! elements; `--quick` drops to 2^20 and the first four Table 2
-//! formats — the CI smoke configuration). Set `MERSIT_OBS=1` to also
-//! emit `OBS_perf_ptq.json` with per-stage span timings and counters.
+//! Usage: `perf_ptq [n_elements] [--quick] [--repeat R]` (default 2^21
+//! ≈ 2.1M elements; `--quick` drops to 2^20 and the first four Table 2
+//! formats — the CI smoke configuration; `--repeat R` runs the whole
+//! sweep R times in one process, which exercises persistent-pool reuse
+//! across runs and must add no new obs schema keys). Set `MERSIT_OBS=1`
+//! to also emit `OBS_perf_ptq.json` with per-stage span timings and
+//! counters.
 
 fn main() {
     mersit_obs::init_from_env();
-    let quick = std::env::args().any(|a| a == "--quick");
-    let n: usize = std::env::args()
-        .skip(1)
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(if quick { 1 << 20 } else { 1 << 21 });
-    mersit_bench::perf::run_perf_ptq(n, quick);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut repeat = 1usize;
+    let mut n: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--repeat" => {
+                i += 1;
+                repeat = args
+                    .get(i)
+                    .and_then(|a| a.parse().ok())
+                    .expect("--repeat takes a positive integer");
+            }
+            other => {
+                if n.is_none() {
+                    if let Ok(v) = other.parse() {
+                        n = Some(v);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    let n = n.unwrap_or(if quick { 1 << 20 } else { 1 << 21 });
+    for _ in 0..repeat.max(1) {
+        mersit_bench::perf::run_perf_ptq(n, quick);
+    }
     match mersit_obs::report::write_global_report("perf_ptq") {
         Ok(Some(path)) => println!("wrote {path}"),
         Ok(None) => {}
