@@ -16,6 +16,7 @@
 //! | `table3` | Table 3 — multiplier breakdown |
 //! | `ablation_merge_level` | merge level E ∈ {1,2,3} study |
 //! | `ablation_kulisch` | Kulisch margin V study |
+//! | `cosim` | hw/sw co-simulation smoke — bit-true vs float executors + golden-MAC differential |
 //!
 //! This library hosts the shared workload machinery: quick model training
 //! and the extraction of *actual DNN operand streams* for the hardware

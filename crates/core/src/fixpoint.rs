@@ -1,0 +1,329 @@
+//! Per-code fixed-point value tables for bit-true Kulisch accumulation.
+//!
+//! The Kulisch MAC of Fig. 2 never rounds inside a dot product: every
+//! `w × a` product is aligned to a common fixed-point grid and added
+//! exactly. A [`FixTable`] precomputes, for every code of a format, the
+//! *single-operand* analogue of that alignment:
+//!
+//! ```text
+//! fix(code) = ±sig << (exp_eff − e_min)
+//! ```
+//!
+//! so that the product of two table entries is bit-identical to the
+//! product-and-align step of the hardware MAC and of
+//! `mersit-hw::GoldenMac`:
+//!
+//! ```text
+//! fix(w) · fix(a) = ±(sig_w·sig_a) << (exp_eff_w + exp_eff_a − 2·e_min)
+//! ```
+//!
+//! Summing those integer products (with a final two's-complement wrap to
+//! the accumulator width) therefore reproduces the hardware accumulator
+//! *bit for bit* — integer addition is associative, so the sum may be
+//! tiled, packed, or threaded freely without changing a single bit.
+//!
+//! A single entry carries the real value `fix × 2^(e_min − (S − 1))`,
+//! where `S` is the decoder's significand width ([`FixTable::sig_bits`]).
+//! For the hardware formats `S` equals the `M` of [`MacParams`] and every
+//! width/LSB formula below coincides with `mersit-hw::MacUnit`'s
+//! (`acc_width = W + 2M − 2 + V`, `lsb = 2·e_min − (2M − 2)`); INT8's
+//! decoder reports its raw magnitude un-normalized (`S = 8`, `M = 1`), and
+//! the `S`-based formulas keep the engine exact there too.
+//!
+//! Non-finite codes (zero, ±∞, NaN) map to `fix = 0`, mirroring the
+//! special-value gating of the hardware datapath.
+//!
+//! [`FixTable::build`] returns `None` for formats whose per-operand fixed
+//! point does not fit an `i64` (e.g. Posit(8,3), whose exponents alone
+//! span ~2^96); callers fall back to an explicit (sign, significand,
+//! shift) wide path for those.
+//!
+//! # Example
+//!
+//! ```
+//! use mersit_core::{fixpoint::FixTable, Format, Mersit};
+//!
+//! let m = Mersit::new(8, 2)?;
+//! let t = FixTable::build(&m).expect("MERSIT(8,2) fits i64");
+//! let code = 0b0_1_01_0110; // decodes to 2.75
+//! let lsb = 2f64.powi(t.operand_lsb_exp());
+//! assert_eq!(t.fix(code) as f64 * lsb, m.decode(code));
+//! # Ok::<(), mersit_core::InvalidFormatError>(())
+//! ```
+
+use crate::format::Format;
+use crate::mac_params::MacParams;
+use crate::ValueClass;
+
+/// Default overflow-headroom bits of the Kulisch accumulator (supports
+/// ≥ `2^8` accumulations with the `+2` guard of [`v_ovf_for`]). This is
+/// the single source of truth; `mersit-hw` re-exports it.
+pub const DEFAULT_V_OVF: u32 = 10;
+
+/// Overflow margin guaranteeing a `dot_len`-term dot product never wraps:
+/// each aligned product occupies at most `acc_width − v_ovf + 1` bits
+/// including sign, so `ceil(log2(dot_len)) + 2` headroom bits keep the
+/// running sum exact. Never below [`DEFAULT_V_OVF`], so short dot products
+/// keep the hardware default width.
+#[must_use]
+pub fn v_ovf_for(dot_len: usize) -> u32 {
+    DEFAULT_V_OVF.max(ceil_log2(dot_len) + 2)
+}
+
+/// `ceil(log2(n))` for `n ≥ 1` (0 for `n ≤ 1`).
+#[must_use]
+pub fn ceil_log2(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros()
+}
+
+/// Per-code fixed-point values of one format: `fix(code)` is the code's
+/// magnitude aligned to the format grid (`±sig << (exp_eff − e_min)`),
+/// zero for non-finite codes. See the module docs for the bit-identity
+/// this buys.
+#[derive(Debug, Clone)]
+pub struct FixTable {
+    name: String,
+    params: MacParams,
+    sig_bits: u32,
+    fix: Vec<i64>,
+    max_bits: u32,
+}
+
+impl FixTable {
+    /// Builds the table for `fmt`, or `None` if a single operand's fixed
+    /// point can exceed 62 magnitude bits (it would not fit `i64`).
+    #[must_use]
+    pub fn build(fmt: &dyn Format) -> Option<Self> {
+        let params = MacParams::of(fmt);
+        // The decoder's significand width: constant per format (asserted
+        // below); equals params.m for the normalized hardware formats.
+        let sig_bits = fmt
+            .codes()
+            .find_map(|c| fmt.fields(c as u16))
+            .map_or(params.m, |d| d.sig_bits);
+        // Largest magnitude: sig < 2^S shifted by up to e_max − e_min.
+        let max_bits = (params.e_max - params.e_min) as u32 + sig_bits;
+        if max_bits > 62 {
+            return None;
+        }
+        let mut fix = vec![0i64; fmt.codes().end as usize];
+        for code in fmt.codes() {
+            let code = code as u16;
+            if fmt.classify(code) != ValueClass::Finite {
+                continue;
+            }
+            let d = fmt.fields(code).expect("finite code has fields");
+            assert_eq!(
+                d.sig_bits, sig_bits,
+                "decoder significand width must be constant per format"
+            );
+            let shift = d.exp_eff - params.e_min;
+            assert!(shift >= 0, "finite magnitude below min_positive");
+            let mag = i64::from(d.sig) << shift;
+            fix[code as usize] = if d.sign { -mag } else { mag };
+        }
+        Some(Self {
+            name: fmt.name(),
+            params,
+            sig_bits,
+            fix,
+            max_bits,
+        })
+    }
+
+    /// Name of the format the table was built for.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The MAC sizing parameters of the format.
+    #[must_use]
+    pub fn params(&self) -> &MacParams {
+        &self.params
+    }
+
+    /// The decoder's significand width `S` (hidden bit included). Equals
+    /// `params().m` for every hardware format.
+    #[must_use]
+    pub fn sig_bits(&self) -> u32 {
+        self.sig_bits
+    }
+
+    /// Fixed-point value of one code (0 for zero / special codes).
+    #[must_use]
+    pub fn fix(&self, code: u16) -> i64 {
+        self.fix[code as usize]
+    }
+
+    /// The whole table, indexed by code.
+    #[must_use]
+    pub fn fixes(&self) -> &[i64] {
+        &self.fix
+    }
+
+    /// Maximum magnitude bits of any single entry,
+    /// `(e_max − e_min) + S` (≤ 62 by construction).
+    #[must_use]
+    pub fn max_bits(&self) -> u32 {
+        self.max_bits
+    }
+
+    /// LSB-weight exponent of a *single* table entry,
+    /// `e_min − (S − 1)`: `value(code) = fix(code) × 2^operand_lsb_exp()`.
+    #[must_use]
+    pub fn operand_lsb_exp(&self) -> i32 {
+        self.params.e_min - (self.sig_bits as i32 - 1)
+    }
+
+    /// LSB-weight exponent of a *product* accumulator over this table,
+    /// `2·(e_min − (S − 1))` — identical to `MacUnit::acc_lsb_exp()`
+    /// (`2·e_min − (2M − 2)`) whenever `S == M`.
+    #[must_use]
+    pub fn lsb_exp(&self) -> i32 {
+        2 * self.operand_lsb_exp()
+    }
+
+    /// Accumulator width for overflow margin `v_ovf`:
+    /// `2·max_bits − 1 + v_ovf`. For the hardware formats
+    /// (`max_bits = (e_max − e_min) + M`) this is algebraically identical
+    /// to `MacUnit::acc_width_for` (`W + 2M − 2 + v_ovf`); for INT8 it is
+    /// wide enough for the un-normalized `S = 8` products.
+    #[must_use]
+    pub fn acc_width(&self, v_ovf: u32) -> usize {
+        (2 * self.max_bits - 1 + v_ovf) as usize
+    }
+
+    /// Whether a `dot_len`-term sum of raw `i128` products of table
+    /// entries is guaranteed not to overflow `i128` (the fast path's
+    /// accumulate-then-wrap-once precondition).
+    #[must_use]
+    pub fn raw_sum_fits_i128(&self, dot_len: usize) -> bool {
+        2 * self.max_bits + ceil_log2(dot_len) < 127
+    }
+}
+
+/// Wraps `v` to `width`-bit two's complement — the same reduction
+/// `GoldenMac` applies after every addition. Because `x mod 2^w` is a ring
+/// homomorphism, wrapping an exact `i128` sum *once* equals wrapping after
+/// every step, which is why the engine can accumulate raw and defer this
+/// to the end of the dot product.
+#[must_use]
+pub fn wrap_i128(v: i128, width: usize) -> i128 {
+    assert!((1..128).contains(&width), "wrap width must fit i128");
+    // Bit arithmetic in u128 so width 127 (where 2^width overflows i128)
+    // still works: take the low `width` bits, then sign-extend.
+    let low = (v as u128) & ((1u128 << width) - 1);
+    if low >> (width - 1) & 1 == 1 {
+        low.wrapping_sub(1u128 << width) as i128
+    } else {
+        low as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::exp2i;
+    use crate::registry::{hardware_formats, table2_formats};
+    use crate::{Int8, Mersit, Posit};
+
+    #[test]
+    fn fix_values_match_decode_for_every_code() {
+        for f in table2_formats() {
+            let fmt: &dyn crate::Format = f.as_ref();
+            let Some(t) = FixTable::build(fmt) else {
+                continue;
+            };
+            let lsb = exp2i(t.operand_lsb_exp());
+            for code in fmt.codes() {
+                let code = code as u16;
+                let expect = if fmt.classify(code) == ValueClass::Finite {
+                    fmt.decode(code)
+                } else {
+                    0.0
+                };
+                assert_eq!(
+                    t.fix(code) as f64 * lsb,
+                    expect,
+                    "{} code {code:#04x}",
+                    t.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_fix_is_the_integer_itself() {
+        let t = FixTable::build(&Int8::new()).unwrap();
+        // e_min = 0, S = 8, every exp_eff = 7 → fix = v << 7, LSB 2^-7.
+        assert_eq!(t.sig_bits(), 8);
+        assert_eq!(t.operand_lsb_exp(), -7);
+        assert_eq!(t.fix(1), 1 << 7);
+        assert_eq!(t.fix(0x80), -128 << 7);
+        assert_eq!(t.fix(0), 0);
+    }
+
+    #[test]
+    fn posit83_overflows_i64_and_is_rejected() {
+        let p = Posit::new(8, 3).unwrap();
+        assert!(FixTable::build(&p).is_none());
+        // Sanity: its single-operand span really is > 62 bits.
+        let params = MacParams::of(&p);
+        assert!((params.e_max - params.e_min) as u32 + params.m > 62);
+    }
+
+    #[test]
+    fn widths_match_mac_unit_formulas_on_hardware_formats() {
+        for f in hardware_formats() {
+            let t = FixTable::build(f.as_ref()).unwrap();
+            let p = t.params();
+            assert_eq!(t.sig_bits(), p.m, "{}", t.name());
+            assert_eq!(
+                t.acc_width(DEFAULT_V_OVF) as u32,
+                p.w + 2 * p.m - 2 + DEFAULT_V_OVF,
+                "{}",
+                t.name()
+            );
+            assert_eq!(t.lsb_exp(), 2 * p.e_min - (2 * p.m as i32 - 2));
+        }
+        // Fig. 2 spot values for MERSIT(8,2): W = 35, M = 5.
+        let t = FixTable::build(&Mersit::new(8, 2).unwrap()).unwrap();
+        assert_eq!(t.acc_width(DEFAULT_V_OVF), 53);
+        assert_eq!(t.lsb_exp(), -26);
+        assert_eq!(t.max_bits(), 22);
+    }
+
+    #[test]
+    fn v_ovf_scales_with_dot_length() {
+        assert_eq!(v_ovf_for(1), DEFAULT_V_OVF);
+        assert_eq!(v_ovf_for(256), DEFAULT_V_OVF);
+        assert_eq!(v_ovf_for(257), 11);
+        assert_eq!(v_ovf_for(1 << 20), 22);
+    }
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn wrap_matches_twos_complement() {
+        assert_eq!(wrap_i128(7, 3), -1);
+        assert_eq!(wrap_i128(8, 3), 0);
+        assert_eq!(wrap_i128(-9, 3), -1);
+        assert_eq!(wrap_i128(3, 3), 3);
+        assert_eq!(wrap_i128(-4, 3), -4);
+        // Wrap-once == wrap-each-step on a sum that overflows the width.
+        let w = 8;
+        let vals = [100i128, 100, 100, -50, 100];
+        let once = wrap_i128(vals.iter().sum(), w);
+        let stepped = vals.iter().fold(0i128, |a, &v| wrap_i128(a + v, w));
+        assert_eq!(once, stepped);
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod error;
 pub mod fields;
+pub mod fixpoint;
 pub mod format;
 pub mod fp8;
 pub mod int8;
@@ -72,6 +73,7 @@ pub mod tables;
 
 pub use error::InvalidFormatError;
 pub use fields::{Decoded, ValueClass};
+pub use fixpoint::{ceil_log2, v_ovf_for, wrap_i128, FixTable, DEFAULT_V_OVF};
 pub use format::{EncodeTable, Format, LatticePoint, TieRule, UnderflowPolicy};
 pub use fp8::Fp8;
 pub use int8::Int8;

@@ -1,0 +1,122 @@
+//! Executable form of NUMERICS.md: one test per section, asserting every
+//! bit pattern, value, and width the document claims. Keep the two in
+//! lockstep — a change here without a NUMERICS.md edit (or vice versa)
+//! means the guide is lying.
+
+// Bit literals are grouped as sign_ks_ECs_fraction, mirroring the field
+// diagrams in NUMERICS.md, not in equal-size digit groups.
+#![allow(clippy::unusual_byte_groupings)]
+
+use mersit_core::fixpoint::FixTable;
+use mersit_core::{v_ovf_for, Format, Fp8, MacParams, Mersit, Posit, ValueClass};
+
+fn m82() -> Mersit {
+    Mersit::new(8, 2).unwrap()
+}
+
+/// §1 — word anatomy and the contiguous merged-exponent range.
+#[test]
+fn section1_word_anatomy() {
+    let m = m82();
+    assert_eq!(m.groups(), 3);
+    assert_eq!(m.regime_scale(), 3); // 2^E − 1
+    assert_eq!(m.exp_eff_range(), -9..=8);
+    assert_eq!(m.min_positive(), 2.0_f64.powi(-9));
+    assert_eq!(m.max_finite(), 2.0_f64.powi(8));
+}
+
+/// §2 — decode walkthrough `0 1 01 0110` → 2.75.
+#[test]
+fn section2_decode_positive_regime() {
+    let m = m82();
+    let code = 0b0_1_01_0110;
+    let d = m.fields(code).unwrap();
+    assert_eq!(d.regime, Some(0)); // ks = 1, g = 0
+    assert_eq!(d.exp_raw, 1);
+    assert_eq!(d.exp_eff, 1); // 3·0 + 1
+    assert_eq!((d.frac, d.frac_bits), (0b0110, 4));
+    assert_eq!(m.decode(code), 2.75);
+}
+
+/// §3 — decode walkthrough `0 0 11 01 10` → 3/64, and sign-magnitude.
+#[test]
+fn section3_decode_negative_regime() {
+    let m = m82();
+    let code = 0b0_0_1101_10;
+    let d = m.fields(code).unwrap();
+    assert_eq!(d.regime, Some(-2)); // ks = 0, g = 1 ⇒ k = −(g+1)
+    assert_eq!(d.exp_raw, 1);
+    assert_eq!(d.exp_eff, -5); // 3·(−2) + 1
+    assert_eq!((d.frac, d.frac_bits), (0b10, 2));
+    assert_eq!(m.decode(code), 0.046875);
+    // Setting the sign bit negates the same magnitude.
+    assert_eq!(m.decode(code | 0x80), -0.046875);
+    assert_eq!(m.decode(0b1_1_01_0110), -2.75);
+}
+
+/// §4 — special patterns: zero, ±∞, and NaN → +∞.
+#[test]
+fn section4_special_patterns() {
+    let m = m82();
+    assert_eq!(m.classify(0b0_0111111), ValueClass::Zero);
+    assert_eq!(m.classify(0b1_0111111), ValueClass::Zero);
+    assert_eq!(m.decode(0b1_0111111), 0.0);
+    assert_eq!(m.classify(0b0_1111111), ValueClass::Infinite);
+    assert_eq!(m.decode(0b0_1111111), f64::INFINITY);
+    assert_eq!(m.decode(0b1_1111111), f64::NEG_INFINITY);
+    assert_eq!(m.decode(m.encode(f64::NAN)), f64::INFINITY);
+}
+
+/// §5 — encode walkthrough 0.7 → `0 0 10 0110` = 0.6875.
+#[test]
+fn section5_encode_walkthrough() {
+    let m = m82();
+    assert_eq!(m.encode(0.7), 0b0_0_10_0110);
+    assert_eq!(m.decode(0b0_0_10_0110), 0.6875);
+}
+
+/// §6 — rounding ties and saturation.
+#[test]
+fn section6_rounding_and_saturation() {
+    let m = m82();
+    // Tie between frac 0110 (1.375) and 0111 (1.4375) → even fraction.
+    assert_eq!(m.decode(m.encode(1.40625)), 1.375);
+    // Fraction-free regime: 96 is halfway between 2^6 and 2^7 → up.
+    assert_eq!(m.decode(m.encode(96.0)), 128.0);
+    // Saturation, never wraparound.
+    assert_eq!(m.decode(m.encode(1e9)), 256.0);
+    assert_eq!(m.decode(m.encode(-1e9)), -256.0);
+    assert_eq!(m.decode(m.encode(1e-300)), 2.0_f64.powi(-9));
+    assert_eq!(m.decode(m.encode(f64::INFINITY)), f64::INFINITY);
+}
+
+/// §7 — Kulisch width table and the FixTable view of the same widths.
+#[test]
+fn section7_kulisch_widths() {
+    let fp = MacParams::of(&Fp8::new(4).unwrap());
+    let po = MacParams::of(&Posit::new(8, 1).unwrap());
+    let me = MacParams::of(&m82());
+    assert_eq!((fp.w, po.w, me.w), (33, 45, 35));
+    assert_eq!(
+        (fp.acc_bits(10), po.acc_bits(10), me.acc_bits(10)),
+        (43, 55, 45)
+    );
+    // Headroom: V = max(10, ceil_log2(L) + 2).
+    assert_eq!(v_ovf_for(1), 10);
+    assert_eq!(v_ovf_for(1024), 12);
+
+    // FixTable derives the same accumulator width from the decoder:
+    // S = 5 significand bits, max_bits = (8 − (−9)) + 5 = 22,
+    // acc = 2·22 − 1 + V = W + 2M − 2 + V = 53 at V = 10.
+    let m = m82();
+    let t = FixTable::build(&m).unwrap();
+    assert_eq!(t.sig_bits(), 5);
+    assert_eq!(t.max_bits(), 22);
+    assert_eq!(t.acc_width(10), 53);
+    assert_eq!(t.acc_width(10) as u32, me.acc_bits(10) + 2 * me.m - 2);
+    // §2's code as a fixed-point integer: 2.75 / 2^(e_min − (S−1)) = 22528.
+    assert_eq!(t.fix(0b0_1_01_0110), 22528);
+    // Posit(8,3) operands need 99 bits — no i64 table; the engine's
+    // 256-bit wide accumulator covers it instead.
+    assert!(FixTable::build(&Posit::new(8, 3).unwrap()).is_none());
+}

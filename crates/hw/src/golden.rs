@@ -1,8 +1,45 @@
 //! Bit-exact software reference of the Kulisch MAC — the golden model the
-//! gate-level designs are verified against, and the fast path for streaming
-//! large DNN workloads when only activity statistics are needed.
+//! gate-level designs are verified against, and the anchor of the
+//! software/hardware co-verification chain.
+//!
+//! # Harness invariants
+//!
+//! * **Contribution rule.** Each finite `w × a` code pair contributes
+//!   `±(sig_w · sig_a) << (exp_w + exp_a − 2·e_min)` — significand
+//!   product, aligned so the accumulator LSB sits at `2·(e_min − (m−1))`.
+//!   Zero and special codes contribute nothing (the hardware gates them),
+//!   counted in `hw.golden.special_skipped`.
+//! * **Wrap rule.** The accumulator reduces to `acc_width`-bit two's
+//!   complement after *every* addition, with the same reduction the
+//!   bit-true executor applies ([`mersit_core::wrap_i128`]). Because
+//!   `x mod 2^w` is a ring homomorphism, per-step wrapping equals
+//!   wrapping an exact sum once — which is exactly why
+//!   `mersit-ptq::dot_bit_true` (raw `i128` sum, one wrap at the end)
+//!   is bit-identical to this model on every code vector, pinned by
+//!   `mersit-ptq/tests/bittrue_golden.rs`.
+//! * **Width contract.** The caller picks `acc_width`; gate-level
+//!   equivalence uses [`crate::mac::MacUnit::acc_width_for`] and the bit-true
+//!   executor uses `FixTable::acc_width` — the two formulas agree
+//!   whenever the decoder significand width equals the MAC's `M`
+//!   (all hardware formats; pinned in `mersit-core::fixpoint` tests).
+//! * **Real-value interpretation.** [`GoldenMac::acc_value`] weights the
+//!   raw accumulator by `2^(2·e_min − (2m−2))`; it equals the exact f64
+//!   dot product ([`GoldenMac::value_f64`]) while no wrap has discarded
+//!   high bits *and* the format's decoder reports `m`-bit significands.
+//!
+//! ```
+//! use mersit_core::Mersit;
+//! use mersit_hw::GoldenMac;
+//!
+//! let f = Mersit::new(8, 2).unwrap();
+//! let mut g = GoldenMac::new(&f, 52);
+//! g.mac(0b0_1_01_0110, 0b0_1_01_0110); // 2.75 × 2.75
+//! assert!((g.acc_value() - 2.75 * 2.75).abs() < 1e-12);
+//! // The wrapped accumulator is what co-verification compares.
+//! assert_eq!(g.acc_wrapped(), i128::from(g.acc_raw()));
+//! ```
 
-use mersit_core::{Format, MacParams, ValueClass};
+use mersit_core::{wrap_i128, Format, MacParams, ValueClass};
 
 /// Software mirror of [`crate::mac::MacUnit`]: identical accumulator
 /// semantics (same LSB weight, same wrap-around width).
@@ -57,7 +94,7 @@ impl<'a> GoldenMac<'a> {
         let prod = i128::from(dw.sig) * i128::from(da.sig);
         let contrib = prod << shift;
         let signed = if dw.sign ^ da.sign { -contrib } else { contrib };
-        self.acc = wrap(self.acc + signed, self.acc_width);
+        self.acc = wrap_i128(self.acc + signed, self.acc_width);
         self.dot_f64 += dw.value() * da.value();
     }
 
@@ -72,6 +109,21 @@ impl<'a> GoldenMac<'a> {
         self.acc as i64
     }
 
+    /// The full wrapped accumulator as a sign-extended `i128` — the value
+    /// the bit-true executor's scalar reference must reproduce exactly.
+    /// Valid at every constructible width (unlike [`GoldenMac::acc_raw`],
+    /// which is limited to 63 bits).
+    #[must_use]
+    pub fn acc_wrapped(&self) -> i128 {
+        self.acc
+    }
+
+    /// The accumulator width this MAC wraps to.
+    #[must_use]
+    pub fn acc_width(&self) -> usize {
+        self.acc_width
+    }
+
     /// The accumulator interpreted as a real value.
     #[must_use]
     pub fn acc_value(&self) -> f64 {
@@ -82,17 +134,6 @@ impl<'a> GoldenMac<'a> {
     #[must_use]
     pub fn value_f64(&self) -> f64 {
         self.dot_f64
-    }
-}
-
-/// Wraps `v` to `width`-bit two's complement.
-fn wrap(v: i128, width: usize) -> i128 {
-    let m = 1i128 << width;
-    let x = v.rem_euclid(m);
-    if x >= m / 2 {
-        x - m
-    } else {
-        x
     }
 }
 
@@ -119,15 +160,17 @@ mod tests {
         g.mac(0x3F, 0x45); // zero × finite
         g.mac(0x7F, 0x45); // inf × finite
         assert_eq!(g.acc_raw(), 0);
+        assert_eq!(g.acc_wrapped(), 0);
     }
 
     #[test]
     fn wrap_behaves_like_twos_complement() {
-        assert_eq!(wrap(7, 3), -1);
-        assert_eq!(wrap(8, 3), 0);
-        assert_eq!(wrap(-9, 3), -1);
-        assert_eq!(wrap(3, 3), 3);
-        assert_eq!(wrap(-4, 3), -4);
+        // The golden MAC wraps through the shared core reduction.
+        assert_eq!(wrap_i128(7, 3), -1);
+        assert_eq!(wrap_i128(8, 3), 0);
+        assert_eq!(wrap_i128(-9, 3), -1);
+        assert_eq!(wrap_i128(3, 3), 3);
+        assert_eq!(wrap_i128(-4, 3), -4);
     }
 
     #[test]
@@ -139,5 +182,15 @@ mod tests {
         g.clear();
         assert_eq!(g.acc_raw(), 0);
         assert_eq!(g.value_f64(), 0.0);
+    }
+
+    #[test]
+    fn acc_wrapped_supports_wide_accumulators() {
+        // A 100-bit accumulator: acc_raw would panic, acc_wrapped works.
+        let f = Mersit::new(8, 2).unwrap();
+        let mut g = GoldenMac::new(&f, 100);
+        g.mac(0x45, 0x45);
+        assert_ne!(g.acc_wrapped(), 0);
+        assert_eq!(g.acc_width(), 100);
     }
 }

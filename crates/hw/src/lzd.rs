@@ -1,6 +1,22 @@
 //! The two "particularly challenging" decoder sub-blocks of §3.3 / Fig. 5b:
 //! the small leading-zero detector over the EC AND-flags, and the
 //! `k × (2^es − 1)` effective-exponent unit.
+//!
+//! # Harness invariants
+//!
+//! * **First-zero semantics.** [`first_zero_detector`] scans the EC
+//!   AND-flags MSB-group-first and one-hot-selects the first group that
+//!   is *not* all ones — that group is the exponent EC; every group
+//!   before it extends the regime. `none` fires exactly on the all-ones
+//!   flag patterns, which is how the decoder recognizes the reserved
+//!   zero / ±∞ codes without a separate comparator.
+//! * **Exponent-unit exactness.** The `k × (2^es − 1)` unit computes the
+//!   regime contribution as `(k << es) − k` in gates; its sum with the
+//!   EC exponent equals the software decoder's `exp_eff` for **all 256
+//!   codes** of every MERSIT format under test — any mismatch would
+//!   break the bit-true chain at the very first decode stage.
+//! * Both blocks are purely combinational: same code in, same fields
+//!   out, with no state to de-synchronize golden and gate-level runs.
 
 use mersit_netlist::{Bus, NetId, Netlist, CONST0};
 

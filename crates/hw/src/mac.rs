@@ -7,6 +7,23 @@
 //! product bits (so accumulation is Kulisch-exact) and `V_OVF` extra bits
 //! of headroom for long dot products. Every format gets the identical
 //! treatment, preserving the paper's relative comparison.
+//!
+//! # Harness invariants
+//!
+//! * **One width formula, three consumers.** [`MacUnit::acc_width_for`]
+//!   (`W + 2M − 2 + V_OVF`), the golden model's caller, and the bit-true
+//!   executor's `FixTable::acc_width` must size identical registers for
+//!   every hardware format — pinned by
+//!   `widths_match_mac_unit_formulas_on_hardware_formats` in
+//!   `mersit-core::fixpoint`. The shared headroom constant
+//!   [`DEFAULT_V_OVF`] is single-sourced from `mersit-core`.
+//! * **Gate/golden equivalence.** Simulating the synthesized netlist on
+//!   random code streams reproduces [`crate::GoldenMac`]'s wrapped
+//!   accumulator bit for bit (the `*_mac_matches_golden` tests below);
+//!   the golden model in turn anchors the software bit-true executor.
+//! * **LSB weight.** Accumulator bit 0 carries `2^(2·e_min − (2M−2))`;
+//!   the aligner shift `exp_sum − 2·e_min` is non-negative for all
+//!   finite code pairs by construction.
 
 use crate::mult::{build_multiplier, MultiplierPorts};
 use crate::ports::Decoder;
@@ -22,7 +39,10 @@ pub mod scopes {
 }
 
 /// Default overflow-headroom bits (supports ≥ `2^10` accumulations).
-pub const DEFAULT_V_OVF: u32 = 10;
+/// Re-exported from `mersit-core` so the gate-level MAC, the golden
+/// model, and the bit-true executor size their accumulators from one
+/// constant ([`mersit_core::v_ovf_for`] scales it for longer dots).
+pub use mersit_core::DEFAULT_V_OVF;
 
 /// A synthesized MAC unit with its port handles.
 #[derive(Debug)]

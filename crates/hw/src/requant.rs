@@ -14,6 +14,25 @@
 //! `SaturateToMinPos` policy) → regime-dependent fraction slice + RNE
 //! (guard & (sticky | lsb), fb=0 ties round up) → carry into `e` →
 //! radix-3 split `e = 3k + exp` (×11 ≫ 5 divider) → field packing.
+//!
+//! # Harness invariants
+//!
+//! * **Encoder equivalence.** For every representable `±mag × 2^lsb_exp`
+//!   the emitted code equals the software `Format::encode` bit for bit —
+//!   verified *exhaustively* (all magnitudes × both signs) across
+//!   normal, saturating, and underflowing `lsb_exp` placements by the
+//!   tests in this module.
+//! * **Rounding semantics.** Round-to-nearest-even on the
+//!   regime-dependent fraction width; in the fraction-free outer regime
+//!   (`fb = 0`) the tie has no even/odd bit to consult and rounds up,
+//!   matching the software encoder and NUMERICS.md §Rounding.
+//! * **Saturation, not wraparound.** Overflow (pre- or post-round)
+//!   clamps to max-magnitude; magnitudes below minpos clamp to minpos;
+//!   a zero magnitude emits the canonical zero pattern with sign 0.
+//! * **Place in the datapath.** This block is the gate-level form of the
+//!   bit-true executor's *single output rounding*: the Kulisch
+//!   accumulator (exact, wide) is renormalized and rounded exactly once
+//!   on the way back to 8-bit codes.
 
 use mersit_netlist::{Bus, NetId, Netlist, CONST0, CONST1};
 

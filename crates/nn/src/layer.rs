@@ -10,6 +10,21 @@
 use crate::param::{ParamVisitor, RefParamVisitor};
 use crate::site::{Site, SiteId, SiteTable};
 use mersit_tensor::{PackedRhs, Tensor};
+use std::sync::Arc;
+
+/// A bit-true replacement for one layer's `x · Wᵀ` GEMM.
+///
+/// Implementations (the quantized-execution engines in `mersit-ptq`) own
+/// the weight in whatever exact representation they need and consume the
+/// **float** activation rows, returning the `[rows, out]` product
+/// *without* bias — the layer adds its own bias afterwards, exactly as on
+/// the float path. Keeping the engine behind a trait object preserves the
+/// layering rule that `mersit-nn` knows nothing about quantization.
+pub trait BitTrueGemm: std::fmt::Debug + Send + Sync {
+    /// Computes `[rows, in] → [rows, out]` for rank-2 `x2` (bias not
+    /// included).
+    fn gemm(&self, x2: &Tensor) -> Tensor;
+}
 
 /// One planned weight override: the quantized value tensor plus,
 /// for weights consumed as the rhs of a `x · Wᵀ` GEMM (see
@@ -17,6 +32,10 @@ use mersit_tensor::{PackedRhs, Tensor};
 /// cache-blocked panels so every forward skips the transpose + pack.
 /// The packed panels are **derived** from `value` — bit-identical math,
 /// packed once per plan instead of once per sample.
+///
+/// A slot may instead carry a [`BitTrueGemm`] engine, in which case GEMM
+/// consumers route the product through it (exact integer arithmetic on
+/// raw codes) and every other consumer still reads `value`.
 #[derive(Debug, Clone)]
 pub struct PlanWeight {
     /// The override value (what non-GEMM consumers read).
@@ -24,6 +43,9 @@ pub struct PlanWeight {
     /// `value` packed as the `[in, out]` rhs of `x · Wᵀ`, when the
     /// parameter is a rank-2 GEMM rhs.
     pub packed_t: Option<PackedRhs>,
+    /// Bit-true execution engine replacing the float GEMM, when the plan
+    /// runs in bit-true mode and the parameter is a rank-2 GEMM rhs.
+    pub bit_true: Option<Arc<dyn BitTrueGemm>>,
 }
 
 impl PlanWeight {
@@ -34,6 +56,7 @@ impl PlanWeight {
         Self {
             value,
             packed_t: None,
+            bit_true: None,
         }
     }
 
@@ -51,6 +74,20 @@ impl PlanWeight {
         Self {
             value,
             packed_t: Some(packed),
+            bit_true: None,
+        }
+    }
+
+    /// An override that routes GEMM consumers through a bit-true engine.
+    /// `value` stays available for non-GEMM reads (and for reference
+    /// comparisons); no float panels are packed — the engine carries its
+    /// own packed code matrices.
+    #[must_use]
+    pub fn with_bit_true(value: Tensor, engine: Arc<dyn BitTrueGemm>) -> Self {
+        Self {
+            value,
+            packed_t: None,
+            bit_true: Some(engine),
         }
     }
 }

@@ -57,7 +57,14 @@ impl Linear {
             Some(p) => x2.matmul_packed(p),
             None => x2.matmul(&w.transpose()),
         };
-        // Broadcast bias over rows.
+        self.add_bias_rows(&mut y);
+        y
+    }
+
+    /// Broadcasts the bias over the rows of a `[rows, out]` product —
+    /// shared by the float GEMM and bit-true paths so the bias addition
+    /// is identical regardless of how the product was computed.
+    fn add_bias_rows(&self, y: &mut Tensor) {
         let bd = self.b.value.data();
         for r in 0..y.shape()[0] {
             let row = &mut y.data_mut()[r * self.out_dim..(r + 1) * self.out_dim];
@@ -65,7 +72,6 @@ impl Linear {
                 *v += b;
             }
         }
-        y
     }
 }
 
@@ -90,7 +96,13 @@ impl Layer for Linear {
         debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
         let shape = x.shape().to_vec();
         let x2 = self.flatten_input(&x);
-        let y = self.apply(&x2, w, ov.and_then(|pw| pw.packed_t.as_ref()));
+        let y = if let Some(bt) = ov.and_then(|pw| pw.bit_true.as_deref()) {
+            let mut y = bt.gemm(&x2);
+            self.add_bias_rows(&mut y);
+            y
+        } else {
+            self.apply(&x2, w, ov.and_then(|pw| pw.packed_t.as_ref()))
+        };
         let mut out_shape = shape;
         *out_shape.last_mut().expect("rank >= 1") = self.out_dim;
         y.reshape(&out_shape)
@@ -201,6 +213,17 @@ impl Layer for Conv2d {
         let ov = ctx.next_override();
         let w = ov.map_or(&self.w.value, |pw| &pw.value);
         debug_assert_eq!(w.shape(), self.w.value.shape(), "override shape mismatch");
+        if let Some(bt) = ov.and_then(|pw| pw.bit_true.as_deref()) {
+            // Explicit im2col → engine GEMM → NCHW: same decomposition as
+            // the float path, with the product computed on raw codes.
+            let col = im2col(&x, &self.spec);
+            let (n, _, h, w_in) = dims4(&x);
+            let (oh, ow) = self.spec.out_hw(h, w_in);
+            let rows = bt.gemm(&col);
+            let mut out = rows_to_nchw(&rows, n, self.out_ch, oh, ow);
+            add_channel_bias(&mut out, &self.b.value);
+            return out;
+        }
         if let Some(p) = ov.and_then(|pw| pw.packed_t.as_ref()) {
             return conv2d_packed(&x, p, Some(&self.b.value), &self.spec);
         }

@@ -61,7 +61,7 @@ pub mod stats;
 pub mod train;
 
 pub use data::{glue_like, synthetic_images, Dataset, GlueTask, GLUE_SEQ_LEN, GLUE_VOCAB};
-pub use layer::{Ctx, Layer, PlanWeight, Tap};
+pub use layer::{BitTrueGemm, Ctx, Layer, PlanWeight, Tap};
 pub use metrics::{accuracy, argmax_rows, f1_binary, matthews};
 pub use models::{bert_t, vision_zoo, InputKind, Model};
 pub use param::{Param, RefParamVisitor};

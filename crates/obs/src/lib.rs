@@ -152,6 +152,16 @@ pub fn observe(name: &'static str, value: f64) {
     }
 }
 
+/// Records one observation into a histogram whose name is built lazily —
+/// the closure (and its allocation) runs only when recording is enabled.
+/// Use for per-site / per-format histogram names, mirroring [`span_dyn`].
+#[inline]
+pub fn observe_dyn(name: impl FnOnce() -> String, value: f64) {
+    if enabled() {
+        global().observe(name(), value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,7 @@
 //! The Table 2 harness: trains nothing itself — given a *pre-trained*
 //! model and a dataset, it calibrates once and scores every format.
 
+use crate::bittrue::Executor;
 use crate::calibrate::{calibrate, Calibration};
 use crate::executor::QuantPlan;
 use mersit_core::FormatRef;
@@ -69,6 +70,11 @@ impl EvalRow {
 /// scoped threads (one unit per format; `MERSIT_THREADS` caps the
 /// worker count). Scores land in format order and are bit-identical to
 /// the serial legacy sweep.
+///
+/// The execution engine comes from the `MERSIT_EXECUTOR` environment
+/// variable ([`Executor::from_env`]): `float` (default) fake-quantizes,
+/// `bittrue` runs every GEMM on raw codes with exact Kulisch
+/// accumulation.
 pub fn evaluate_model(
     model: &mut Model,
     ds: &Dataset,
@@ -76,6 +82,7 @@ pub fn evaluate_model(
     metric: Metric,
     batch: usize,
 ) -> (EvalRow, Calibration) {
+    let executor = Executor::from_env();
     let cal = calibrate(model, &ds.calib.inputs, batch);
     let fp_preds = predict(&mut model.net, &ds.test.inputs, batch);
     let fp32 = metric.score(&fp_preds, &ds.test.labels);
@@ -87,7 +94,7 @@ pub fn evaluate_model(
             for (df, slot) in chunk.iter_mut().enumerate() {
                 let fmt = &formats[f0 + df];
                 let _span = mersit_obs::span_dyn(|| format!("ptq.evaluate.{}", fmt.name()));
-                let plan = QuantPlan::build(shared, fmt.clone(), &cal);
+                let plan = QuantPlan::build_with(shared, fmt.clone(), &cal, executor);
                 let preds = plan.predict(shared, &ds.test.inputs, batch);
                 *slot = Some(FormatScore {
                     format: fmt.name(),

@@ -43,11 +43,13 @@
 //! Instrumentation observes only — the quantized values are bit-identical
 //! with the toggle on or off.
 
+use crate::bittrue::{Executor, QuantGemm};
 use crate::calibrate::Calibration;
 use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_anchor, site_scale};
 use mersit_core::{Format, FormatRef};
 use mersit_nn::{argmax_rows, Ctx, InputKind, Layer, Model, PlanWeight, Site, SiteTable, Tap};
 use mersit_tensor::{par, Tensor};
+use std::sync::Arc;
 
 /// Snapshot of model weights for restore-after-quantization.
 #[derive(Debug, Default)]
@@ -97,7 +99,12 @@ pub fn quantize_weights(model: &mut Model, fmt: &dyn Format) {
 
 /// The shared tap body: quantize through the site's calibrated scale, or
 /// pass through (counting the miss) when the site was unseen.
-fn quantize_site(fmt: &dyn Format, scales: &[Option<f64>], site: Site<'_>, t: Tensor) -> Tensor {
+pub(crate) fn quantize_site(
+    fmt: &dyn Format,
+    scales: &[Option<f64>],
+    site: Site<'_>,
+    t: Tensor,
+) -> Tensor {
     // The per-layer executor timing: one span per tap visit, named after
     // the layer path (resolved from the interned table, not rebuilt here).
     let _span = mersit_obs::span_dyn(|| format!("ptq.layer.{}", site.path));
@@ -207,11 +214,12 @@ pub fn evaluate_format(
 /// model, and batch shards run concurrently inside one plan.
 #[derive(Debug)]
 pub struct QuantPlan {
-    fmt: FormatRef,
-    weights: Vec<PlanWeight>,
-    scales: Vec<Option<f64>>,
-    sites: SiteTable,
-    input_scale: Option<f64>,
+    pub(crate) fmt: FormatRef,
+    pub(crate) weights: Vec<PlanWeight>,
+    pub(crate) scales: Vec<Option<f64>>,
+    pub(crate) sites: SiteTable,
+    pub(crate) input_scale: Option<f64>,
+    executor: Executor,
 }
 
 /// The plan's tap: same numerics as [`QuantTap`], borrowing the plan's
@@ -228,11 +236,29 @@ impl Tap for PlanTap<'_> {
 }
 
 impl QuantPlan {
-    /// Compiles the plan: per-channel-quantizes every rank-≥2 parameter
-    /// into plan-owned tensors and precomputes the per-site activation
-    /// scales. The model is only read.
+    /// Compiles the plan with the default [`Executor::Float`] engine:
+    /// per-channel-quantizes every rank-≥2 parameter into plan-owned
+    /// tensors and precomputes the per-site activation scales. The model
+    /// is only read.
     #[must_use]
     pub fn build(model: &Model, fmt: FormatRef, cal: &Calibration) -> Self {
+        Self::build_with(model, fmt, cal, Executor::Float)
+    }
+
+    /// Compiles the plan for a chosen execution engine. With
+    /// [`Executor::BitTrue`], every GEMM-rhs rank-2 weight additionally
+    /// gets a [`QuantGemm`] engine built from the **original FP32**
+    /// weights (same per-channel scales as the fake-quantized tensor, so
+    /// the code matrix corresponds element for element) — Linear and
+    /// im2col Conv2d forwards then multiply raw codes with exact Kulisch
+    /// accumulation instead of running the float GEMM.
+    #[must_use]
+    pub fn build_with(
+        model: &Model,
+        fmt: FormatRef,
+        cal: &Calibration,
+        executor: Executor,
+    ) -> Self {
         let _span = mersit_obs::span("ptq.plan.build");
         let mut weights = Vec::new();
         model.net.visit_params_ref("", &mut |_, p| {
@@ -240,7 +266,13 @@ impl QuantPlan {
                 mersit_obs::incr("ptq.weights.tensors");
                 let q = quantize_per_channel(fmt.as_ref(), &p.value);
                 weights.push(if p.gemm_rhs && q.shape().len() == 2 {
-                    PlanWeight::packed_rhs(q)
+                    if executor == Executor::BitTrue {
+                        mersit_obs::incr("ptq.bittrue.engines");
+                        let engine = QuantGemm::build(fmt.clone(), &p.value);
+                        PlanWeight::with_bit_true(q, Arc::new(engine))
+                    } else {
+                        PlanWeight::packed_rhs(q)
+                    }
                 } else {
                     PlanWeight::plain(q)
                 });
@@ -259,6 +291,7 @@ impl QuantPlan {
             scales,
             sites: cal.sites().clone(),
             input_scale,
+            executor,
         }
     }
 
@@ -266,6 +299,12 @@ impl QuantPlan {
     #[must_use]
     pub fn format(&self) -> &dyn Format {
         self.fmt.as_ref()
+    }
+
+    /// The execution engine the plan was compiled for.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// Number of quantized weight tensors the plan owns.

@@ -41,14 +41,18 @@
 )]
 
 pub mod accuracy;
+pub mod bittrue;
 pub mod calibrate;
+pub mod coverify;
 pub mod executor;
 pub mod other_formats;
 pub mod quantizer;
 pub mod rmse;
 
 pub use accuracy::{evaluate_model, render_table, EvalRow, FormatScore, Metric};
+pub use bittrue::{dot_bit_true, Executor, QuantGemm, WideAcc};
 pub use calibrate::{calibrate, Calibration, INPUT_PATH};
+pub use coverify::{coverify, DivergenceReport, SiteDivergence};
 pub use executor::{
     evaluate_format, predict_quantized, quantize_weights, QuantPlan, QuantTap, WeightSnapshot,
 };

@@ -1,0 +1,126 @@
+//! The hardware/software differential: the bit-true executor's scalar
+//! dot product ([`mersit_ptq::dot_bit_true`]) must equal the `mersit-hw`
+//! golden MAC **bit for bit** on every tested dot product — same codes
+//! in, same wrapped accumulator out, for every registered format whose
+//! fixed-point table exists and whose accumulator fits the golden
+//! model's `i128`.
+//!
+//! The two implementations compute very differently — the golden MAC
+//! decodes fields and wraps after every step; the executor looks up
+//! precomputed fixed-point values, sums raw, and wraps once — so bit
+//! equality here is a real theorem check (mod-2^w is a ring
+//! homomorphism), not a tautology.
+
+use mersit_core::fixpoint::{v_ovf_for, FixTable};
+use mersit_core::{table2_formats, Format, FormatRef};
+use mersit_hw::GoldenMac;
+use proptest::prelude::*;
+
+/// Formats the differential covers: a fixed-point table exists (operands
+/// fit i64) and the width formula stays inside the golden model's i128.
+fn differential_formats() -> Vec<(FormatRef, FixTable)> {
+    table2_formats()
+        .into_iter()
+        .filter_map(|f| {
+            let t = FixTable::build(f.as_ref())?;
+            (t.acc_width(v_ovf_for(MAX_DOT)) < 128 && t.raw_sum_fits_i128(MAX_DOT))
+                .then_some((f, t))
+        })
+        .collect()
+}
+
+const MAX_DOT: usize = 96;
+
+fn random_codes(seed: u64, len: usize) -> (Vec<u16>, Vec<u16>) {
+    let mut rng = mersit_tensor::Rng::new(seed);
+    let gen =
+        |rng: &mut mersit_tensor::Rng| (0..len).map(|_| (rng.next_u64() & 0xFF) as u16).collect();
+    (gen(&mut rng), gen(&mut rng))
+}
+
+/// Runs both sides on one code vector and asserts bit identity.
+fn check_dot(fmt: &dyn Format, table: &FixTable, w: &[u16], a: &[u16]) {
+    let acc_width = table.acc_width(v_ovf_for(w.len()));
+    let mut golden = GoldenMac::new(fmt, acc_width);
+    for (&wc, &ac) in w.iter().zip(a) {
+        golden.mac(wc, ac);
+    }
+    let engine = mersit_ptq::dot_bit_true(table, w, a, acc_width);
+    assert_eq!(
+        engine,
+        golden.acc_wrapped(),
+        "{}: engine {engine:#x} != golden {:#x} over {} products (acc_width {acc_width})",
+        table.name(),
+        golden.acc_wrapped(),
+        w.len(),
+    );
+}
+
+#[test]
+fn differential_covers_most_registered_formats() {
+    // Regression guard: the filter must not silently shrink coverage.
+    // Today only Posit(8,3) (no i64 table) is excluded from 11 formats.
+    let covered = differential_formats().len();
+    assert!(covered >= 10, "only {covered} formats in the differential");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random code vectors (all 256 byte patterns, so zero / special /
+    /// negative-regime codes all appear) across every covered format.
+    #[test]
+    fn engine_equals_golden_mac_bitwise(
+        seed in any::<u64>(),
+        len in 1usize..MAX_DOT,
+    ) {
+        for (fmt, table) in differential_formats() {
+            let (w, a) = random_codes(seed, len);
+            check_dot(fmt.as_ref(), &table, &w, &a);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_single_products_match() {
+    // Every (w, a) code pair as a length-1 dot product: 65 536 pairs per
+    // format — the complete multiplier truth table.
+    for (fmt, table) in differential_formats() {
+        let acc_width = table.acc_width(v_ovf_for(1));
+        let mut golden = GoldenMac::new(fmt.as_ref(), acc_width);
+        for wc in 0..=255u16 {
+            for ac in 0..=255u16 {
+                golden.clear();
+                golden.mac(wc, ac);
+                let engine = mersit_ptq::dot_bit_true(&table, &[wc], &[ac], acc_width);
+                assert_eq!(
+                    engine,
+                    golden.acc_wrapped(),
+                    "{}: codes ({wc:#04x}, {ac:#04x})",
+                    table.name(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn long_alternating_dots_exercise_wraparound() {
+    // Max-magnitude codes of alternating sign push the accumulator to
+    // its headroom; per-step and wrap-once must still agree.
+    for (fmt, table) in differential_formats() {
+        let f = fmt.as_ref();
+        // The largest-|fix| finite code and its negation.
+        let big = f
+            .codes()
+            .map(|c| c as u16)
+            .max_by_key(|&c| table.fix(c).unsigned_abs())
+            .unwrap();
+        let neg = f.encode(-f.decode(big));
+        let w: Vec<u16> = (0..MAX_DOT)
+            .map(|i| if i % 2 == 0 { big } else { neg })
+            .collect();
+        let a = vec![big; MAX_DOT];
+        check_dot(f, &table, &w, &a);
+    }
+}

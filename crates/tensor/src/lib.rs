@@ -40,6 +40,7 @@ pub mod gemm;
 pub mod ops;
 pub mod par;
 pub mod pool;
+pub mod qgemm;
 pub mod rng;
 pub mod tensor;
 
@@ -50,5 +51,6 @@ pub use ops::{
     maxpool2d_backward, nchw_to_rows, rows_to_nchw, softmax_rows, ConvSpec,
 };
 pub use par::{par_chunks_mut, par_chunks_mut_with, pool_size, thread_count};
+pub use qgemm::PackedCodeRhs;
 pub use rng::Rng;
 pub use tensor::Tensor;

@@ -1,0 +1,143 @@
+//! Bit-identity properties of the packed integer GEMM: for every shape
+//! (random and tile-boundary) and thread count, the blocked/packed/
+//! threaded kernels must equal the serial i-k-j reference **exactly** —
+//! integer addition is associative, so there is no tolerance, only
+//! equality. This is the kernel half of the bit-true chain: the golden
+//! differential (`mersit-ptq/tests/bittrue_golden.rs`) proves the scalar
+//! dot product, and these properties prove every tiling of it.
+
+use mersit_tensor::gemm::{KC, NR};
+use mersit_tensor::qgemm::{self, PackedCodeRhs};
+use mersit_tensor::{par_chunks_mut_with, Rng};
+use proptest::prelude::*;
+
+/// Signed values spanning the fixed-point range real format tables
+/// produce (up to ~2^22 for MERSIT(8,2), wider here for margin).
+fn random_codes(rng: &mut Rng, len: usize, bits: u32) -> Vec<i64> {
+    (0..len)
+        .map(|_| {
+            let m = (rng.next_u64() % (1u64 << bits)) as i64;
+            if rng.next_u64() & 1 == 0 {
+                m
+            } else {
+                -m
+            }
+        })
+        .collect()
+}
+
+fn reference(a: &[i64], b: &[i64], m: usize, k: usize, n: usize) -> Vec<i128> {
+    let mut out = vec![0i128; m * n];
+    qgemm::qgemm_naive_rows(a, k, b, n, &mut out);
+    out
+}
+
+fn check_shape(m: usize, k: usize, n: usize, bits: u32, seed: u64) {
+    let mut rng = Rng::new(seed);
+    let a = random_codes(&mut rng, m * k, bits);
+    let b = random_codes(&mut rng, k * n, bits);
+    let want = reference(&a, &b, m, k, n);
+
+    let packed = PackedCodeRhs::pack(&b, k, n);
+    let mut got = vec![0i128; m * n];
+    qgemm::qgemm_rows(&a, k, &packed, &mut got);
+    assert_eq!(got, want, "qgemm_rows [{m},{k},{n}]");
+
+    // pack_t from the transposed (weight-matrix) layout must agree.
+    let mut bt = vec![0i64; n * k];
+    for kk in 0..k {
+        for j in 0..n {
+            bt[j * k + kk] = b[kk * n + j];
+        }
+    }
+    let packed_t = PackedCodeRhs::pack_t(&bt, n, k);
+    let mut got_t = vec![0i128; m * n];
+    qgemm::qgemm_rows(&a, k, &packed_t, &mut got_t);
+    assert_eq!(got_t, want, "qgemm_rows(pack_t) [{m},{k},{n}]");
+
+    let mut got_par = vec![0i128; m * n];
+    qgemm::qgemm_rows_par(&a, k, &packed, &mut got_par);
+    assert_eq!(got_par, want, "qgemm_rows_par [{m},{k},{n}]");
+}
+
+/// Replicates `qgemm_rows_par`'s row split with an explicit thread count
+/// (the env-var pool size is latched process-wide, so the explicit-count
+/// API is how tests sweep thread counts).
+fn qgemm_with_threads(
+    threads: usize,
+    a: &[i64],
+    k: usize,
+    packed: &PackedCodeRhs,
+    m: usize,
+) -> Vec<i128> {
+    let n = packed.n();
+    let mut out = vec![0i128; m * n];
+    if n > 0 {
+        par_chunks_mut_with(threads, &mut out, n, 1, |i0, chunk| {
+            let rows = chunk.len() / n;
+            qgemm::qgemm_rows(&a[i0 * k..(i0 + rows) * k], k, packed, chunk);
+        });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_shapes_bit_identical(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        check_shape(m, k, n, 24, seed);
+    }
+
+    #[test]
+    fn thread_splits_bit_identical(
+        m in 1usize..48,
+        k in 1usize..40,
+        n in 1usize..33,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let a = random_codes(&mut rng, m * k, 24);
+        let b = random_codes(&mut rng, k * n, 24);
+        let want = reference(&a, &b, m, k, n);
+        let packed = PackedCodeRhs::pack(&b, k, n);
+        for threads in [1usize, 2, 7] {
+            let got = qgemm_with_threads(threads, &a, k, &packed, m);
+            prop_assert!(got == want, "threads={threads} [{m},{k},{n}]");
+        }
+    }
+}
+
+#[test]
+fn tile_boundary_grid_bit_identical() {
+    let ms = [1, 2, 37];
+    let ns = [1, NR - 1, NR, NR + 1, 25];
+    let ks = [1, 3, KC - 1, KC, KC + 1];
+    let mut seed = 0x9d_u64;
+    for &m in &ms {
+        for &n in &ns {
+            for &k in &ks {
+                check_shape(m, k, n, 20, seed);
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+        }
+    }
+}
+
+#[test]
+fn near_overflow_products_stay_exact() {
+    // 61-bit operands with k=4: products near the i128 edge must still
+    // match the reference (both sides widen before the multiply).
+    let a = vec![(1i64 << 61) - 1, -((1i64 << 61) - 3), 5, -7];
+    let b = vec![-((1i64 << 61) - 5), (1i64 << 61) - 7, -11, 13];
+    let want = reference(&a, &b, 1, 4, 1);
+    let packed = PackedCodeRhs::pack(&b, 4, 1);
+    let mut got = vec![0i128; 1];
+    qgemm::qgemm_rows(&a, 4, &packed, &mut got);
+    assert_eq!(got, want);
+}
