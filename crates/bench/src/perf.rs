@@ -15,10 +15,16 @@
 //!
 //! The run also times the **full PTQ format sweep** both ways — the
 //! legacy serial string-path executor (snapshot → mutate → restore per
-//! format) against the compiled [`QuantPlan`] sweep running formats
-//! concurrently over one shared read-only model — asserts the
-//! predictions are bit-identical, and records both wall-clocks under
-//! the `"sweep"` key of `BENCH_ptq.json`.
+//! format) against the compiled [`QuantPlan`] sweep, which walks formats
+//! in order and fans each one's batch shards and nested GEMMs out across
+//! the work-stealing pool — asserts the predictions are bit-identical,
+//! and records both wall-clocks under the `"sweep"` key of
+//! `BENCH_ptq.json`.
+//!
+//! With `--repeat R` the whole measurement runs `R` times and the JSON
+//! reports the **median** of every rate and the **min** of every
+//! wall-clock (plus explicit `*_median` sweep keys), so scheduler jitter
+//! from stealing does not pollute the committed baseline.
 
 use mersit_core::{quantize_slice_scalar, table2_formats, Format, FormatRef, QuantLut};
 use mersit_nn::models::{mobilenet_v3_t, vgg_t};
@@ -28,6 +34,9 @@ use mersit_tensor::{gemm, par, Rng, Tensor};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Typical activation scale every throughput row quantizes at.
+const QUANT_SCALE: f64 = 0.037;
 
 /// Deterministic Gaussian-ish activation buffer (sum of four uniforms).
 #[must_use]
@@ -81,8 +90,8 @@ pub struct FormatSweep {
     pub format: String,
     /// Serial leg seconds for this format (legacy executor).
     pub serial_secs: f64,
-    /// Parallel leg seconds for this format (plan build + predict, as
-    /// measured inside its sweep slot).
+    /// Parallel leg seconds for this format (plan build + predict, all
+    /// pool parallelism inside the format).
     pub parallel_secs: f64,
 }
 
@@ -103,10 +112,17 @@ pub struct SweepBench {
     pub threads: usize,
     /// Serial leg: legacy `evaluate_format` loop, summed over models.
     pub serial_string_path_secs: f64,
-    /// Parallel leg: concurrent `QuantPlan` sweep, summed over models.
+    /// Parallel leg: `QuantPlan` sweep (formats in order, pool
+    /// parallelism inside each), summed over models.
     pub parallel_plan_secs: f64,
     /// `serial / parallel`.
     pub speedup: f64,
+    /// Median serial-leg seconds across repeats (equals
+    /// `serial_string_path_secs` for a single run).
+    pub serial_secs_median: f64,
+    /// Median parallel-leg seconds across repeats (equals
+    /// `parallel_plan_secs` for a single run).
+    pub parallel_secs_median: f64,
     /// Per-format wall-clock breakdown (summed over models).
     pub per_format: Vec<FormatSweep>,
 }
@@ -169,32 +185,32 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
             serial_secs += t0.elapsed().as_secs_f64();
             preds
         };
-        // Each slot carries its own wall-clock, measured inside the
-        // chunk, so per-format cost survives the concurrent execution.
-        let parallel_preds: Vec<Option<(Vec<usize>, f64)>> = {
+        // Formats run in order; all pool parallelism lives inside each
+        // format (batch shards → nested GEMM tiles), so the per-format
+        // wall-clock is a clean latency number, not a time-sliced share
+        // of the machine.
+        let parallel_preds: Vec<(Vec<usize>, f64)> = {
             let _leg = mersit_obs::span("bench.sweep.parallel");
             let t0 = Instant::now();
             let shared: &Model = model;
-            let mut slots: Vec<Option<(Vec<usize>, f64)>> = vec![None; formats.len()];
-            par::par_chunks_mut(&mut slots, 1, 1, |f0, chunk| {
-                for (df, slot) in chunk.iter_mut().enumerate() {
-                    let fmt = &formats[f0 + df];
+            let preds = formats
+                .iter()
+                .map(|fmt| {
                     let s0 = Instant::now();
                     let plan = QuantPlan::build(shared, fmt.clone(), &cal);
                     let preds = plan.predict(shared, &inputs, batch);
-                    *slot = Some((preds, s0.elapsed().as_secs_f64()));
-                }
-            });
+                    (preds, s0.elapsed().as_secs_f64())
+                })
+                .collect();
             parallel_secs += t0.elapsed().as_secs_f64();
-            slots
+            preds
         };
-        for (((fmt, s), p), pf) in formats
+        for (((fmt, s), (p, secs)), pf) in formats
             .iter()
             .zip(&serial_preds)
             .zip(&parallel_preds)
             .zip(&mut per_format)
         {
-            let (p, secs) = p.as_ref().expect("every sweep slot is filled");
             pf.parallel_secs += secs;
             assert_eq!(
                 s,
@@ -214,6 +230,8 @@ pub fn run_sweep_bench(quick: bool) -> SweepBench {
         serial_string_path_secs: serial_secs,
         parallel_plan_secs: parallel_secs,
         speedup: serial_secs / parallel_secs,
+        serial_secs_median: serial_secs,
+        parallel_secs_median: parallel_secs,
         per_format,
     };
     println!(
@@ -333,22 +351,31 @@ pub fn run_gemm_bench() -> Vec<GemmRow> {
     rows
 }
 
-/// Runs the full sweep, prints the human-readable table, writes
-/// `BENCH_ptq.json` (throughput rows plus the serial-vs-parallel
-/// [`SweepBench`] section), and returns the rows.
-///
-/// `quick` reduces the format grid to the first four Table 2 entries —
-/// the CI smoke configuration.
+/// One full measurement pass: quantization throughput rows, GEMM
+/// throughput rows, and the serial-vs-parallel sweep wall-clocks.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Per-format quantization throughput along the three paths.
+    pub formats: Vec<PerfRow>,
+    /// Matmul throughput rows.
+    pub gemm: Vec<GemmRow>,
+    /// The PTQ sweep serial-vs-parallel comparison.
+    pub sweep: SweepBench,
+}
+
+/// Measures one [`PerfReport`] (printing the human-readable tables)
+/// without writing any file.
 ///
 /// # Panics
 ///
 /// Panics if `n < 2^20` (the measurement is too noisy below ~1M
-/// elements) or if `BENCH_ptq.json` cannot be written.
-pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
+/// elements).
+#[must_use]
+pub fn measure_perf_ptq(n: usize, quick: bool) -> PerfReport {
     assert!(n >= 1 << 20, "need at least 1M elements for a stable read");
     let threads = par::pool_size();
     let src = workload(n);
-    let scale = 0.037; // typical activation scale
+    let scale = QUANT_SCALE;
     let reps = 3;
     let mut grid = table2_formats();
     if quick {
@@ -402,10 +429,125 @@ pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
         });
     }
 
+    let gemm = run_gemm_bench();
+    let sweep = run_sweep_bench(quick);
+    PerfReport {
+        formats: rows,
+        gemm,
+        sweep,
+    }
+}
+
+/// Median of a sample set (`0.0` when empty). Rates aggregate by median
+/// — robust against a single run that got lucky or unlucky with steals.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    match xs.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => xs[n / 2],
+        n => 0.5 * (xs[n / 2 - 1] + xs[n / 2]),
+    }
+}
+
+/// Minimum of a sample set (`0.0` when empty). Wall-clocks aggregate by
+/// min — the cleanest observation of the actual cost, since noise only
+/// ever adds time.
+fn minimum(xs: Vec<f64>) -> f64 {
+    xs.into_iter().fold(f64::INFINITY, f64::min).min(f64::MAX)
+}
+
+/// Folds repeated measurements into one report: **median** for every
+/// rate (throughput rows, GEMM MFLOP/s), **min** for every wall-clock
+/// (sweep legs, per-format seconds) with the leg medians kept alongside,
+/// speedups recomputed from the aggregates.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+#[must_use]
+pub fn aggregate_reports(reports: &[PerfReport]) -> PerfReport {
+    let first = reports.first().expect("at least one measurement");
+    let formats = (0..first.formats.len())
+        .map(|i| {
+            let rs: Vec<&PerfRow> = reports.iter().map(|r| &r.formats[i]).collect();
+            PerfRow {
+                format: rs[0].format.clone(),
+                scalar: median(rs.iter().map(|r| r.scalar).collect()),
+                lut: median(rs.iter().map(|r| r.lut).collect()),
+                lut_threads: median(rs.iter().map(|r| r.lut_threads).collect()),
+            }
+        })
+        .collect();
+    let gemm = (0..first.gemm.len())
+        .map(|i| {
+            let gs: Vec<&GemmRow> = reports.iter().map(|r| &r.gemm[i]).collect();
+            let naive = median(gs.iter().map(|g| g.naive_mflops).collect());
+            let packed = median(gs.iter().map(|g| g.packed_mflops).collect());
+            GemmRow {
+                shape: gs[0].shape.clone(),
+                m: gs[0].m,
+                k: gs[0].k,
+                n: gs[0].n,
+                naive_mflops: naive,
+                packed_mflops: packed,
+                speedup: packed / naive,
+            }
+        })
+        .collect();
+    let serial = minimum(
+        reports
+            .iter()
+            .map(|r| r.sweep.serial_string_path_secs)
+            .collect(),
+    );
+    let parallel = minimum(reports.iter().map(|r| r.sweep.parallel_plan_secs).collect());
+    let per_format = (0..first.sweep.per_format.len())
+        .map(|i| {
+            let fs: Vec<&FormatSweep> = reports.iter().map(|r| &r.sweep.per_format[i]).collect();
+            FormatSweep {
+                format: fs[0].format.clone(),
+                serial_secs: minimum(fs.iter().map(|f| f.serial_secs).collect()),
+                parallel_secs: minimum(fs.iter().map(|f| f.parallel_secs).collect()),
+            }
+        })
+        .collect();
+    let sweep = SweepBench {
+        models: first.sweep.models.clone(),
+        formats: first.sweep.formats,
+        samples: first.sweep.samples,
+        threads: first.sweep.threads,
+        serial_string_path_secs: serial,
+        parallel_plan_secs: parallel,
+        speedup: serial / parallel,
+        serial_secs_median: median(
+            reports
+                .iter()
+                .map(|r| r.sweep.serial_string_path_secs)
+                .collect(),
+        ),
+        parallel_secs_median: median(reports.iter().map(|r| r.sweep.parallel_plan_secs).collect()),
+        per_format,
+    };
+    PerfReport {
+        formats,
+        gemm,
+        sweep,
+    }
+}
+
+/// Serializes an (aggregated) report to `BENCH_ptq.json`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_json(report: &PerfReport, n: usize, scale: f64, repeats: usize) {
+    let rows = &report.formats;
+    let sweep = &report.sweep;
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"elements\": {n},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"threads\": {},", sweep.threads);
     let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
     json.push_str("  \"formats\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -423,21 +565,21 @@ pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
-
-    let gemm_rows = run_gemm_bench();
     json.push_str("  \"gemm\": [\n");
-    for (i, g) in gemm_rows.iter().enumerate() {
+    for (i, g) in report.gemm.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
              \"naive_mflops\": {:.1}, \"packed_mflops\": {:.1}, \"speedup\": {:.2}}}",
             g.shape, g.m, g.k, g.n, g.naive_mflops, g.packed_mflops, g.speedup
         );
-        json.push_str(if i + 1 < gemm_rows.len() { ",\n" } else { "\n" });
+        json.push_str(if i + 1 < report.gemm.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ],\n");
-
-    let sweep = run_sweep_bench(quick);
     json.push_str("  \"sweep\": {\n");
     let names: Vec<String> = sweep.models.iter().map(|m| format!("\"{m}\"")).collect();
     let _ = writeln!(json, "    \"models\": [{}],", names.join(", "));
@@ -455,6 +597,16 @@ pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
         sweep.parallel_plan_secs
     );
     let _ = writeln!(json, "    \"speedup\": {:.2},", sweep.speedup);
+    let _ = writeln!(
+        json,
+        "    \"serial_secs_median\": {:.4},",
+        sweep.serial_secs_median
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_secs_median\": {:.4},",
+        sweep.parallel_secs_median
+    );
     json.push_str("    \"per_format\": [\n");
     for (i, pf) in sweep.per_format.iter().enumerate() {
         let _ = write!(
@@ -472,8 +624,42 @@ pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_ptq.json", &json).expect("write BENCH_ptq.json");
     println!("wrote BENCH_ptq.json");
+}
 
-    let best = rows.iter().map(|r| r.lut / r.scalar).fold(0.0f64, f64::max);
+/// Measures the sweep `repeats` times, aggregates (median rates, min
+/// wall-clocks — see [`aggregate_reports`]), writes `BENCH_ptq.json`
+/// once, and returns the aggregate.
+///
+/// # Panics
+///
+/// Panics if `n < 2^20` or the JSON cannot be written.
+pub fn run_perf_ptq_repeat(n: usize, quick: bool, repeats: usize) -> PerfReport {
+    let repeats = repeats.max(1);
+    let reports: Vec<PerfReport> = (0..repeats)
+        .map(|r| {
+            if repeats > 1 {
+                println!("--- repeat {}/{repeats} ---", r + 1);
+            }
+            measure_perf_ptq(n, quick)
+        })
+        .collect();
+    let agg = aggregate_reports(&reports);
+    write_bench_json(&agg, n, QUANT_SCALE, repeats);
+    let best = agg
+        .formats
+        .iter()
+        .map(|r| r.lut / r.scalar)
+        .fold(0.0f64, f64::max);
     println!("best single-threaded LUT speedup: {best:.1}x");
-    rows
+    agg
+}
+
+/// Single-measurement convenience wrapper around [`run_perf_ptq_repeat`]:
+/// runs the full sweep once, writes `BENCH_ptq.json`, returns the rows.
+///
+/// # Panics
+///
+/// Panics if `n < 2^20` or the JSON cannot be written.
+pub fn run_perf_ptq(n: usize, quick: bool) -> Vec<PerfRow> {
+    run_perf_ptq_repeat(n, quick, 1).formats
 }

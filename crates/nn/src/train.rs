@@ -225,18 +225,29 @@ pub fn predict(net: &mut dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize>
 /// Shared-reference inference: like [`predict`] but needs only `&` access
 /// to the network, so callers can run several predictions concurrently
 /// over one model.
+///
+/// Samples are sharded across the global pool in whole-batch chunks
+/// (`Layer: Send + Sync` makes `&dyn Layer` shareable); each sample's
+/// forward is independent and per-sample arithmetic never depends on its
+/// batch-mates, so predictions are bit-identical to the serial loop for
+/// every thread count. The per-batch forwards inside a shard nest their
+/// own GEMM dispatches, which the stealing pool composes instead of
+/// serializing.
 pub fn predict_ref(net: &dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize> {
     let n = inputs.shape()[0];
-    let mut preds = Vec::with_capacity(n);
-    let mut i = 0;
-    while i < n {
-        let _batch_span = mersit_obs::span("nn.predict.batch");
-        let hi = (i + batch).min(n);
-        let x = inputs.slice_outer(i, hi);
-        let logits = net.forward_ref(x, &mut Ctx::inference());
-        preds.extend(crate::metrics::argmax_rows(&logits));
-        i = hi;
-    }
+    let batch = batch.max(1);
+    let mut preds = vec![0usize; n];
+    mersit_tensor::par::par_chunks_mut(&mut preds, 1, batch, |s0, chunk| {
+        let mut i = 0;
+        while i < chunk.len() {
+            let _batch_span = mersit_obs::span("nn.predict.batch");
+            let hi = (i + batch).min(chunk.len());
+            let x = inputs.slice_outer(s0 + i, s0 + hi);
+            let logits = net.forward_ref(x, &mut Ctx::inference());
+            chunk[i..hi].copy_from_slice(&crate::metrics::argmax_rows(&logits));
+            i = hi;
+        }
+    });
     preds
 }
 

@@ -6,7 +6,6 @@ use crate::calibrate::{calibrate, Calibration};
 use crate::executor::QuantPlan;
 use mersit_core::FormatRef;
 use mersit_nn::{accuracy, f1_binary, matthews, predict, Dataset, Model};
-use mersit_tensor::par;
 
 /// Which GLUE-style metric a task reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,11 +64,14 @@ impl EvalRow {
 /// Calibrates on the dataset's calibration split and evaluates the FP32
 /// baseline plus every format on the test split.
 ///
-/// Each format is compiled into a read-only [`QuantPlan`] and the plans
-/// run **concurrently** over the shared model via `mersit_tensor::par`
-/// scoped threads (one unit per format; `MERSIT_THREADS` caps the
-/// worker count). Scores land in format order and are bit-identical to
-/// the serial legacy sweep.
+/// Each format is compiled into a read-only [`QuantPlan`] and evaluated
+/// **in format order**, with all parallelism *inside* the format: the
+/// plan's batch shards and their nested GEMM dispatches fan out across
+/// the global work-stealing pool (`MERSIT_THREADS` sized), which keeps
+/// every core busy on the current format instead of time-slicing cores
+/// across formats — per-format latency matches the serial sweep and the
+/// total scales with the pool. Scores land in format order and are
+/// bit-identical to the serial legacy sweep.
 ///
 /// The execution engine comes from the `MERSIT_EXECUTOR` environment
 /// variable ([`Executor::from_env`]): `float` (default) fake-quantizes,
@@ -86,27 +88,22 @@ pub fn evaluate_model(
     let cal = calibrate(model, &ds.calib.inputs, batch);
     let fp_preds = predict(&mut model.net, &ds.test.inputs, batch);
     let fp32 = metric.score(&fp_preds, &ds.test.labels);
-    let mut slots: Vec<Option<FormatScore>> = vec![None; formats.len()];
-    {
+    let scores = {
         let _sweep = mersit_obs::span("ptq.sweep");
         let shared: &Model = model;
-        par::par_chunks_mut(&mut slots, 1, 1, |f0, chunk| {
-            for (df, slot) in chunk.iter_mut().enumerate() {
-                let fmt = &formats[f0 + df];
+        formats
+            .iter()
+            .map(|fmt| {
                 let _span = mersit_obs::span_dyn(|| format!("ptq.evaluate.{}", fmt.name()));
                 let plan = QuantPlan::build_with(shared, fmt.clone(), &cal, executor);
                 let preds = plan.predict(shared, &ds.test.inputs, batch);
-                *slot = Some(FormatScore {
+                FormatScore {
                     format: fmt.name(),
                     score: metric.score(&preds, &ds.test.labels),
-                });
-            }
-        });
-    }
-    let scores = slots
-        .into_iter()
-        .map(|s| s.expect("every format slot is filled by the sweep"))
-        .collect();
+                }
+            })
+            .collect()
+    };
     (
         EvalRow {
             model: model.name.clone(),

@@ -301,6 +301,25 @@ pub fn gemm_rows(a: &[f32], k: usize, packed: &PackedRhs, out: &mut [f32]) {
     }
 }
 
+/// Row-parallel wrapper over [`gemm_rows`]: splits the output rows into
+/// stealable chunks on the global pool. Bit-identical to the serial
+/// kernel for every thread count and steal schedule (the split never
+/// crosses a row and each element keeps its ascending-k accumulation
+/// order). This is the one entry point every f32 matmul consumer routes
+/// tile parallelism through — `Tensor::matmul`/`matmul_packed` and the
+/// conv lowerings compose with batch- and sweep-level dispatches above
+/// them instead of re-deriving their own splits.
+pub fn gemm_rows_par(a: &[f32], k: usize, packed: &PackedRhs, out: &mut [f32]) {
+    let n = packed.n;
+    if n == 0 {
+        return;
+    }
+    crate::par::par_chunks_mut(out, n, crate::par::min_units(2 * k * n), |i0, chunk| {
+        let rows = chunk.len() / n;
+        gemm_rows(&a[i0 * k..(i0 + rows) * k], k, packed, chunk);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,48 +1,72 @@
 //! Parallel fan-out over contiguous chunks of a mutable slice, executed
-//! on the persistent worker pool in [`crate::pool`].
+//! on the global work-stealing pool in [`crate::pool`].
 //!
 //! The kernels in this crate (matmul, im2col, elementwise map) all write
 //! disjoint regions of one output buffer, each region a whole number of
 //! fixed-size *units* (a matrix row, an im2col row, a single element).
-//! [`par_chunks_mut`] splits the buffer into per-thread chunks along unit
-//! boundaries and publishes them as one pool task; the caller and every
-//! idle pool worker claim chunks until none remain. No external
-//! dependencies — the pool is `std` threads parked on a condvar.
+//! [`par_chunks_mut`] splits the buffer into chunks along unit boundaries
+//! and publishes them as stealable pool jobs; the caller helps execute
+//! jobs until its own dispatch completes. No external dependencies — the
+//! pool is `std` threads with per-worker deques parked on a condvar.
 //!
 //! # Invariants
 //!
 //! * **Structural partitioning, bit-identical results.** The split is by
 //!   *position* (whole units, contiguous, in order), never by value, and
 //!   every unit's output depends only on that unit's inputs. The result
-//!   is therefore bit-identical for every thread count, including 1 —
-//!   which runs inline on the caller's thread, reproducing the serial
-//!   kernels exactly. No reduction ever crosses a chunk boundary, and
-//!   *which* thread claims a chunk never affects what it writes.
-//! * **Work-bounded fan-out.** The effective thread count is capped so
-//!   each worker receives at least `min_units_per_thread` units (see
-//!   [`min_units`]); below that, dispatch overhead would dominate and
-//!   the call degrades gracefully to the serial path.
-//! * **Nested calls run serially.** A dispatch issued from a pool worker
-//!   thread (a kernel inside another kernel's chunk) takes the inline
-//!   serial path, so the pool can never deadlock on itself.
+//!   is therefore bit-identical for every thread count and every steal
+//!   schedule, including 1 thread — which runs inline on the caller's
+//!   thread, reproducing the serial kernels exactly. No reduction ever
+//!   crosses a chunk boundary, and *which* thread runs a chunk never
+//!   affects what it writes.
+//! * **Nested calls compose.** A dispatch issued from a pool worker (a
+//!   kernel inside another kernel's chunk) pushes its jobs onto that
+//!   worker's own deque and helps drain them; idle threads steal across
+//!   the nesting boundary. Nothing ever falls back to inline-serial just
+//!   because of *where* it was called from — only work size decides.
 //! * **Environment, not API.** The pool size comes from the
 //!   `MERSIT_THREADS` environment variable (default: available
 //!   parallelism), latched once at the first parallel dispatch; `1`
 //!   disables threading entirely. `pool::shutdown()` drops the pool and
 //!   the next dispatch re-reads the variable.
 //!
+//! # Chunk sizing: steal granularity ≠ dispatch granularity
+//!
+//! Two constants govern the split, and they answer different questions:
+//!
+//! * `PAR_WORK_TARGET` (2¹³ ≈ 8k elementary ops) is the **steal
+//!   granularity floor** — the minimum work per *chunk*, because a chunk
+//!   is the unit a thief takes. A pool pop/steal costs ~0.1–1 µs against
+//!   ~0.8 µs for a serial 8k-op pass on the reference container, so
+//!   below this the queue traffic cannot pay for itself and the call
+//!   degrades gracefully to the serial path. Callers express it per
+//!   kernel via [`min_units`].
+//! * `CHUNKS_PER_THREAD` (4) is the **dispatch granularity** — how
+//!   many chunks to publish per requested thread, work permitting. With
+//!   an exclusive pool and perfectly uniform chunks, `chunks == threads`
+//!   would be optimal (zero excess queue traffic). But under a shared
+//!   pool the threads are *not* exclusively ours: a concurrent sweep,
+//!   batch shard, or nested kernel may hold some of them mid-dispatch,
+//!   and uneven chunk runtimes leave tails. Oversubscribing ~4× keeps a
+//!   margin of stealable jobs so whoever frees up first rebalances the
+//!   tail, at a bounded (≤4×) increase in per-dispatch queue operations.
+//!
+//! So the chunk count is `min(threads × CHUNKS_PER_THREAD, units /
+//! min_units_per_chunk)`, clamped to at least 1.
+//!
 //! # Observability
 //!
 //! When the `MERSIT_OBS` toggle is on (see `mersit-obs`), each dispatch
 //! records a `tensor.par.dispatch` span plus `tensor.pool.dispatches` /
-//! `tensor.pool.chunks` counters, each claimed chunk a
+//! `tensor.pool.chunks` counters, each executed chunk a
 //! `tensor.par.chunk` span, and the chunk sizes land in the
-//! `tensor.par.chunk_units` histogram; `tensor.pool.size` and the
-//! `tensor.pool.queue_depth` histogram describe the pool itself. Thread
+//! `tensor.par.chunk_units` histogram; `tensor.pool.size`, the
+//! `tensor.pool.queue_depth` histogram, and the `tensor.pool.local_hits`
+//! / `tensor.pool.steals` counters describe the pool itself. Thread
 //! utilization for a run is `sum(chunk total_ns) / (dispatch total_ns ×
-//! pool size)`. Serial (inline) calls — including nested ones — are
-//! counted under `tensor.par.calls_serial`. With the toggle off this
-//! instrumentation is a single atomic load per dispatch.
+//! pool size)`. Serial (inline) calls are counted under
+//! `tensor.par.calls_serial`. With the toggle off this instrumentation
+//! is a single atomic load per dispatch.
 
 use std::env;
 use std::num::NonZeroUsize;
@@ -51,17 +75,18 @@ use std::thread;
 
 use crate::pool;
 
-/// Approximate number of elementary operations worth shipping to a pool
-/// worker; below this, dispatch overhead dominates. Retuned from `1 << 16`
-/// (scoped-spawn era, ~10–20 µs per spawn/join) down to `1 << 13` for the
-/// pool's cheaper dispatch: on the reference container a pool dispatch
-/// measures 0.9–2 µs over the serial path and a serial 8k-op elementwise
-/// pass ~0.8 µs — i.e. `1 << 13` ops is the parity point below which
-/// parallelism cannot win, while the old threshold left 8× of
-/// now-profitable work on the serial path.
+/// Approximate number of elementary operations worth queueing as one
+/// stealable chunk; below this, pool traffic dominates. See the module
+/// docs ("Chunk sizing") for how this floor interacts with
+/// [`CHUNKS_PER_THREAD`].
 const PAR_WORK_TARGET: usize = 1 << 13;
 
-/// Minimum units per thread so that each thread gets roughly
+/// Chunks published per requested thread (work permitting): the
+/// oversubscription margin that lets work-stealing rebalance tails and
+/// absorb threads lost to concurrent dispatches. See the module docs.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Minimum units per chunk so that each chunk carries roughly
 /// `PAR_WORK_TARGET` (2¹³) operations, given the per-unit cost.
 #[must_use]
 pub fn min_units(work_per_unit: usize) -> usize {
@@ -94,25 +119,25 @@ pub fn pool_size() -> usize {
 }
 
 /// Splits `data` into contiguous chunks of whole `unit`-sized blocks and
-/// runs `f(first_unit_index, chunk)` across the persistent pool, using
-/// [`thread_count`] chunks (capped so each gets at least
-/// `min_units_per_thread` units).
+/// runs `f(first_unit_index, chunk)` across the pool, publishing up to
+/// [`thread_count`]` × CHUNKS_PER_THREAD` chunks (capped so each carries
+/// at least `min_units_per_chunk` units).
 ///
 /// # Panics
 ///
 /// Panics if `unit` is zero or does not divide `data.len()`. Panics from
 /// `f` propagate to the caller after the dispatch completes.
-pub fn par_chunks_mut<T, F>(data: &mut [T], unit: usize, min_units_per_thread: usize, f: F)
+pub fn par_chunks_mut<T, F>(data: &mut [T], unit: usize, min_units_per_chunk: usize, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    par_chunks_mut_with(thread_count(), data, unit, min_units_per_thread, f);
+    par_chunks_mut_with(thread_count(), data, unit, min_units_per_chunk, f);
 }
 
 /// Raw base pointer of the output buffer, smuggled into the `Fn(usize)`
 /// chunk closure. Sound because chunk index → slice bounds is injective
-/// (disjoint ranges) and every chunk index is claimed exactly once.
+/// (disjoint ranges) and every chunk index is executed exactly once.
 struct SyncPtr<T>(*mut T);
 unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
@@ -124,9 +149,9 @@ impl<T> SyncPtr<T> {
     }
 }
 
-/// [`par_chunks_mut`] with an explicit chunk count (used by tests and
-/// benchmarks to compare scaling without touching the environment). The
-/// chunks still execute on the [`thread_count`]-sized pool.
+/// [`par_chunks_mut`] with an explicit thread-count target (used by tests
+/// and benchmarks to compare scaling without touching the environment).
+/// The chunks still execute on the [`thread_count`]-sized pool.
 ///
 /// # Panics
 ///
@@ -136,7 +161,7 @@ pub fn par_chunks_mut_with<T, F>(
     threads: usize,
     data: &mut [T],
     unit: usize,
-    min_units_per_thread: usize,
+    min_units_per_chunk: usize,
     f: F,
 ) where
     T: Send,
@@ -149,10 +174,13 @@ pub fn par_chunks_mut_with<T, F>(
         data.len()
     );
     let units = data.len() / unit;
-    let by_work = units / min_units_per_thread.max(1);
-    let threads = threads.min(by_work).max(1);
+    let by_work = units / min_units_per_chunk.max(1);
+    let n_chunks = threads
+        .saturating_mul(CHUNKS_PER_THREAD)
+        .min(by_work)
+        .max(1);
     let obs_on = mersit_obs::enabled();
-    if threads <= 1 || pool::is_worker_thread() {
+    if threads <= 1 || n_chunks <= 1 {
         if obs_on {
             mersit_obs::incr("tensor.par.calls_serial");
             mersit_obs::observe("tensor.par.chunk_units", units as f64);
@@ -168,7 +196,7 @@ pub fn par_chunks_mut_with<T, F>(
     } else {
         mersit_obs::SpanGuard::inert()
     };
-    let per = units.div_ceil(threads);
+    let per = units.div_ceil(n_chunks);
     let n_chunks = units.div_ceil(per);
     let len = data.len();
     let base = SyncPtr(data.as_mut_ptr());
@@ -231,13 +259,29 @@ mod tests {
 
     #[test]
     fn min_units_caps_parallelism() {
-        // 10 units, but each thread must get at least 6 → single thread.
+        // 10 units, but each chunk must carry at least 6 → single chunk.
         let mut data = vec![0u8; 10];
         par_chunks_mut_with(8, &mut data, 1, 6, |first, chunk| {
-            // With one thread the whole slice arrives at once.
+            // With one chunk the whole slice arrives at once.
             assert_eq!(first, 0);
             assert_eq!(chunk.len(), 10);
         });
+    }
+
+    #[test]
+    fn oversubscription_caps_at_available_work() {
+        // 12 units, min 1: threads=16 would target 64 chunks, but only
+        // 12 units exist — every chunk still carries a whole unit.
+        let mut data = vec![0u8; 12];
+        let seen = std::sync::Mutex::new(Vec::new());
+        par_chunks_mut_with(16, &mut data, 1, 1, |first, chunk| {
+            seen.lock().unwrap().push((first, chunk.len()));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let total: usize = seen.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 12);
+        assert!(seen.iter().all(|&(_, l)| l >= 1));
     }
 
     #[test]

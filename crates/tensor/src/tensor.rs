@@ -352,17 +352,11 @@ impl Tensor {
             packed.k()
         );
         let mut out = vec![0.0f32; m * n];
-        let lhs = &self.data;
-        if n > 0 {
-            // Output rows are independent, so the row range is split
-            // across threads; each row accumulates in the same k order
-            // regardless of the split, keeping results bit-identical for
-            // any thread count.
-            par::par_chunks_mut(&mut out, n, par::min_units(2 * k * n), |i0, chunk| {
-                let rows = chunk.len() / n;
-                gemm::gemm_rows(&lhs[i0 * k..(i0 + rows) * k], k, packed, chunk);
-            });
-        }
+        // Output rows are independent; the shared row-parallel kernel
+        // splits them into stealable chunks, and each row accumulates in
+        // the same k order regardless of the split, keeping results
+        // bit-identical for any thread count.
+        gemm::gemm_rows_par(&self.data, k, packed, &mut out);
         Self {
             data: out,
             shape: vec![m, n],

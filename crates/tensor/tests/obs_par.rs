@@ -2,14 +2,17 @@
 //! from `par` worker threads must be complete (no lost or duplicated
 //! chunk samples) and must not perturb results.
 
-use mersit_tensor::par_chunks_mut_with;
+use mersit_tensor::{par_chunks_mut_with, pool_size};
 
 #[test]
 fn par_workers_record_exactly_one_span_per_chunk() {
     mersit_obs::set_enabled(true);
     mersit_obs::reset();
 
+    // threads=4 with 64 units (min 1 per chunk) publishes
+    // threads × CHUNKS_PER_THREAD = 16 stealable chunks of 4 units each.
     let threads = 4;
+    let chunks = 16u64;
     let mut data = vec![0u32; 64 * 16];
     par_chunks_mut_with(threads, &mut data, 16, 1, |first, chunk| {
         for (u, block) in chunk.chunks_mut(16).enumerate() {
@@ -25,7 +28,7 @@ fn par_workers_record_exactly_one_span_per_chunk() {
         .iter()
         .find(|s| s.name == "tensor.par.chunk")
         .expect("chunk spans recorded");
-    assert_eq!(chunk_span.stats.count, threads as u64);
+    assert_eq!(chunk_span.stats.count, chunks);
 
     let dispatch = snap
         .spans
@@ -39,7 +42,7 @@ fn par_workers_record_exactly_one_span_per_chunk() {
         .iter()
         .find(|h| h.name == "tensor.par.chunk_units")
         .expect("chunk-size histogram recorded");
-    assert_eq!(hist.stats.count, threads as u64);
+    assert_eq!(hist.stats.count, chunks);
     assert_eq!(
         hist.stats.sum, 64.0,
         "every unit accounted for exactly once"
@@ -57,7 +60,7 @@ fn par_workers_record_exactly_one_span_per_chunk() {
         .iter()
         .find(|c| c.name == "tensor.pool.chunks")
         .expect("pool chunk counter recorded");
-    assert_eq!(pool_chunks.value, threads as u64);
+    assert_eq!(pool_chunks.value, chunks);
 
     let queue_depth = snap
         .histograms
@@ -65,6 +68,22 @@ fn par_workers_record_exactly_one_span_per_chunk() {
         .find(|h| h.name == "tensor.pool.queue_depth")
         .expect("queue-depth histogram recorded");
     assert_eq!(queue_depth.stats.count, 1);
+
+    // Every chunk that went through the queues was either a LIFO pop by
+    // its publisher or a steal; on a 1-thread pool the dispatch runs
+    // inline and never touches the queues.
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let executed = counter("tensor.pool.local_hits") + counter("tensor.pool.steals");
+    if pool_size() > 1 {
+        assert_eq!(executed, chunks, "queued chunks all popped or stolen");
+    } else {
+        assert_eq!(executed, 0, "size-1 pool runs inline, no queue traffic");
+    }
 
     // Instrumentation must not change the computation.
     for (i, &v) in data.iter().enumerate() {

@@ -4,10 +4,12 @@
 //! Usage: `perf_ptq [n_elements] [--quick] [--repeat R]` (default 2^21
 //! ≈ 2.1M elements; `--quick` drops to 2^20 and the first four Table 2
 //! formats — the CI smoke configuration; `--repeat R` runs the whole
-//! sweep R times in one process, which exercises persistent-pool reuse
-//! across runs and must add no new obs schema keys). Set `MERSIT_OBS=1`
-//! to also emit `OBS_perf_ptq.json` with per-stage span timings and
-//! counters.
+//! sweep R times in one process — exercising persistent-pool reuse, and
+//! adding no new obs schema keys — and writes `BENCH_ptq.json` once with
+//! the median of every rate and the min of every wall-clock across
+//! repeats, so steal-scheduler jitter doesn't pollute the committed
+//! baseline). Set `MERSIT_OBS=1` to also emit `OBS_perf_ptq.json` with
+//! per-stage span timings and counters.
 
 fn main() {
     mersit_obs::init_from_env();
@@ -37,9 +39,7 @@ fn main() {
         i += 1;
     }
     let n = n.unwrap_or(if quick { 1 << 20 } else { 1 << 21 });
-    for _ in 0..repeat.max(1) {
-        mersit_bench::perf::run_perf_ptq(n, quick);
-    }
+    mersit_bench::perf::run_perf_ptq_repeat(n, quick, repeat.max(1));
     match mersit_obs::report::write_global_report("perf_ptq") {
         Ok(Some(path)) => println!("wrote {path}"),
         Ok(None) => {}
