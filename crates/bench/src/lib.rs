@@ -27,6 +27,7 @@
 #![allow(clippy::cast_precision_loss, clippy::must_use_candidate)]
 
 pub mod perf;
+pub mod serve;
 
 use mersit_core::Format;
 use mersit_nn::models::vgg_t;

@@ -1,0 +1,386 @@
+//! Serving throughput/latency bench (the `serve_bench` binary's engine
+//! room): drives a [`mersit_serve::Server`] over the model zoo with
+//! closed-loop (N concurrent clients, each waiting for its response) and
+//! open-loop (paced arrivals at a target rate) load, and writes
+//! requests/sec plus p50/p95/p99 latency per
+//! (format × executor × offered-load) to `BENCH_serve.json`.
+//!
+//! Accounting is conservation-based: every offered request ends as
+//! exactly one of completed / rejected / failed, and `unanswered` (the
+//! remainder) must be zero — CI asserts this on the quick run.
+
+use mersit_nn::models::{mobilenet_v3_t, vgg_t};
+use mersit_ptq::{calibrate, Executor};
+use mersit_serve::{Request, ServeConfig, Server};
+use mersit_tensor::{par, Rng, Tensor};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One (model × format × executor × mode × offered-load) measurement.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Model served.
+    pub model: String,
+    /// Format name, or `"fp32"` for the unquantized reference path.
+    pub format: String,
+    /// Executor name (`"float"` / `"bittrue"`).
+    pub executor: String,
+    /// `"closed"` (concurrent blocking clients) or `"open"` (paced
+    /// arrivals).
+    pub mode: String,
+    /// Offered load: client count (closed) or target requests/sec (open).
+    pub offered: usize,
+    /// Requests offered in total.
+    pub requests: usize,
+    /// Requests answered with a prediction.
+    pub completed: usize,
+    /// Requests rejected at admission (queue full).
+    pub rejected: usize,
+    /// Requests answered with an error.
+    pub failed: usize,
+    /// Offered requests not accounted for above — must be 0.
+    pub unanswered: usize,
+    /// Completed requests per second of wall-clock.
+    pub reqs_per_sec: f64,
+    /// Median admission-to-response latency, µs.
+    pub p50_us: u64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Mean coalesced-batch size over completed requests.
+    pub mean_batch: f64,
+}
+
+/// The whole bench: config echo plus one row per measurement.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Pool size used (workers + dispatcher).
+    pub threads: usize,
+    /// Whether this was the CI quick grid.
+    pub quick: bool,
+    /// Server flush threshold in effect.
+    pub max_batch: usize,
+    /// Server latency budget in effect, µs.
+    pub max_wait_us: u64,
+    /// Server admission depth in effect.
+    pub queue_depth: usize,
+    /// All measurements.
+    pub runs: Vec<ServeRun>,
+}
+
+/// What one load pass observed.
+struct PassResult {
+    latencies_us: Vec<u64>,
+    batch_sizes: Vec<usize>,
+    rejected: usize,
+    failed: usize,
+    wall: Duration,
+}
+
+/// The (format, executor) grid; `None` format = FP32 reference forward.
+fn combos(quick: bool) -> Vec<(Option<&'static str>, Executor)> {
+    if quick {
+        vec![
+            (None, Executor::Float),
+            (Some("MERSIT(8,2)"), Executor::Float),
+            (Some("MERSIT(8,2)"), Executor::BitTrue),
+        ]
+    } else {
+        vec![
+            (None, Executor::Float),
+            (Some("MERSIT(8,2)"), Executor::Float),
+            (Some("MERSIT(8,2)"), Executor::BitTrue),
+            (Some("INT8"), Executor::Float),
+            (Some("Posit(8,1)"), Executor::BitTrue),
+        ]
+    }
+}
+
+fn make_request(model: &str, fmt: Option<&str>, executor: Executor, sample: Tensor) -> Request {
+    let req = Request::new(model, sample);
+    match fmt {
+        Some(f) => req.format(f).executor(executor),
+        None => req,
+    }
+}
+
+/// Closed loop: `clients` threads, each blocking on its own requests —
+/// offered concurrency is the load knob, arrival rate is whatever the
+/// server sustains.
+fn closed_loop(
+    server: &Server,
+    model: &str,
+    fmt: Option<&str>,
+    executor: Executor,
+    samples: &[Tensor],
+    clients: usize,
+    per_client: usize,
+) -> PassResult {
+    let agg = Mutex::new((Vec::new(), Vec::new(), 0usize, 0usize));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let agg = &agg;
+            s.spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                let mut bat = Vec::with_capacity(per_client);
+                let mut rejected = 0usize;
+                let mut failed = 0usize;
+                for r in 0..per_client {
+                    let sample = samples[(c * per_client + r) % samples.len()].clone();
+                    match server.infer(make_request(model, fmt, executor, sample)) {
+                        Ok(resp) => {
+                            lat.push(resp.total_us);
+                            bat.push(resp.batch_size);
+                        }
+                        Err(mersit_serve::ServeError::QueueFull { .. }) => rejected += 1,
+                        Err(_) => failed += 1,
+                    }
+                }
+                let mut g = agg.lock().expect("aggregate");
+                g.0.extend(lat);
+                g.1.extend(bat);
+                g.2 += rejected;
+                g.3 += failed;
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let (latencies_us, batch_sizes, rejected, failed) = agg.into_inner().expect("aggregate");
+    PassResult {
+        latencies_us,
+        batch_sizes,
+        rejected,
+        failed,
+        wall,
+    }
+}
+
+/// Open loop: one pacer submits at `rate` requests/sec without waiting,
+/// then all tickets are drained — offered arrival rate is the load knob,
+/// queueing shows up as latency (or, past the depth, as rejections).
+fn open_loop(
+    server: &Server,
+    model: &str,
+    fmt: Option<&str>,
+    executor: Executor,
+    samples: &[Tensor],
+    rate: usize,
+    total: usize,
+) -> PassResult {
+    let interval = Duration::from_secs_f64(1.0 / rate.max(1) as f64);
+    let mut tickets = Vec::with_capacity(total);
+    let mut rejected = 0usize;
+    let t0 = Instant::now();
+    for r in 0..total {
+        let due = t0 + interval * u32::try_from(r).expect("request count fits u32");
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let sample = samples[r % samples.len()].clone();
+        match server.submit(make_request(model, fmt, executor, sample)) {
+            Ok(t) => tickets.push(t),
+            Err(mersit_serve::ServeError::QueueFull { .. }) => rejected += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    let mut latencies_us = Vec::with_capacity(tickets.len());
+    let mut batch_sizes = Vec::with_capacity(tickets.len());
+    let mut failed = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Ok(resp) => {
+                latencies_us.push(resp.total_us);
+                batch_sizes.push(resp.batch_size);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    PassResult {
+        latencies_us,
+        batch_sizes,
+        rejected,
+        failed,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Percentile over a sorted latency vector (nearest-rank on the sorted
+/// order; 0 for an empty pass).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn finish_run(
+    model: &str,
+    fmt: Option<&str>,
+    executor: Executor,
+    mode: &str,
+    offered: usize,
+    requests: usize,
+    mut pass: PassResult,
+) -> ServeRun {
+    pass.latencies_us.sort_unstable();
+    let completed = pass.latencies_us.len();
+    let mean_batch = if completed == 0 {
+        0.0
+    } else {
+        pass.batch_sizes.iter().sum::<usize>() as f64 / completed as f64
+    };
+    let run = ServeRun {
+        model: model.to_owned(),
+        format: fmt.unwrap_or("fp32").to_owned(),
+        executor: executor.to_string(),
+        mode: mode.to_owned(),
+        offered,
+        requests,
+        completed,
+        rejected: pass.rejected,
+        failed: pass.failed,
+        unanswered: requests - completed - pass.rejected - pass.failed,
+        reqs_per_sec: completed as f64 / pass.wall.as_secs_f64().max(1e-9),
+        p50_us: percentile(&pass.latencies_us, 0.50),
+        p95_us: percentile(&pass.latencies_us, 0.95),
+        p99_us: percentile(&pass.latencies_us, 0.99),
+        mean_batch,
+    };
+    println!(
+        "{:<16} {:<12} {:<8} {:<6} @{:<5} {:>7.1} req/s  p50 {:>7}us p95 {:>7}us p99 {:>7}us  batch {:.2}  ({} ok / {} rej / {} fail)",
+        run.model,
+        run.format,
+        run.executor,
+        run.mode,
+        run.offered,
+        run.reqs_per_sec,
+        run.p50_us,
+        run.p95_us,
+        run.p99_us,
+        run.mean_batch,
+        run.completed,
+        run.rejected,
+        run.failed
+    );
+    run
+}
+
+/// Runs the full grid: per model, per (format × executor) combo, a
+/// closed-loop pass at each client count, then an open-loop pass paced
+/// at roughly half the best closed-loop rate (so the open pass measures
+/// batching under head-room, not a saturated queue).
+///
+/// # Panics
+///
+/// Panics if any pass leaves requests unanswered — the server's
+/// admission-conservation invariant would be broken.
+#[must_use]
+pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
+    let _span = mersit_obs::span("bench.serve");
+    let (hw, sample_pool, per_client, open_total) = if quick {
+        (8usize, 8usize, 12usize, 24usize)
+    } else {
+        (10, 12, 32, 64)
+    };
+    let client_counts: &[usize] = if quick { &[1, 2] } else { &[1, 4] };
+    let cfg = ServeConfig::from_env();
+    let report_cfg = cfg.clone();
+    let mut rng = Rng::new(0x5E4E);
+    let models = if quick {
+        vec![vgg_t(hw, 10, &mut rng)]
+    } else {
+        vec![vgg_t(hw, 10, &mut rng), mobilenet_v3_t(hw, 10, &mut rng)]
+    };
+    let mut runs = Vec::new();
+    for model in models {
+        let name = model.name.clone();
+        let calib = Tensor::randn(&[16, 3, hw, hw], 1.0, &mut rng);
+        let cal = calibrate(&model, &calib, 8);
+        let samples: Vec<Tensor> = (0..sample_pool)
+            .map(|_| Tensor::randn(&[3, hw, hw], 1.0, &mut rng))
+            .collect();
+        let server = Server::start(vec![(model, cal)], cfg.clone());
+        for (fmt, executor) in combos(quick) {
+            let mut best_rate = 0.0f64;
+            for &clients in client_counts {
+                let requests = clients * per_client;
+                let pass =
+                    closed_loop(&server, &name, fmt, executor, &samples, clients, per_client);
+                let run = finish_run(&name, fmt, executor, "closed", clients, requests, pass);
+                best_rate = best_rate.max(run.reqs_per_sec);
+                assert_eq!(run.unanswered, 0, "closed loop dropped requests");
+                runs.push(run);
+            }
+            let rate = (best_rate * 0.5).max(2.0) as usize;
+            let pass = open_loop(&server, &name, fmt, executor, &samples, rate, open_total);
+            let run = finish_run(&name, fmt, executor, "open", rate, open_total, pass);
+            assert_eq!(run.unanswered, 0, "open loop dropped requests");
+            runs.push(run);
+        }
+        let stats = server.stats();
+        println!(
+            "{name}: {} submitted, {} completed, {} rejected, {} plans cached",
+            stats.submitted, stats.completed, stats.rejected, stats.cached_plans
+        );
+    }
+    ServeBenchReport {
+        threads: par::pool_size(),
+        quick,
+        max_batch: report_cfg.max_batch,
+        max_wait_us: report_cfg.max_wait_us,
+        queue_depth: report_cfg.queue_depth,
+        runs,
+    }
+}
+
+/// Serializes a report to `BENCH_serve.json`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_serve_json(report: &ServeBenchReport) {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {},", report.threads);
+    let _ = writeln!(json, "  \"quick\": {},", report.quick);
+    let _ = writeln!(json, "  \"max_batch\": {},", report.max_batch);
+    let _ = writeln!(json, "  \"max_wait_us\": {},", report.max_wait_us);
+    let _ = writeln!(json, "  \"queue_depth\": {},", report.queue_depth);
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in report.runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"model\": \"{}\", \"format\": \"{}\", \"executor\": \"{}\", \
+             \"mode\": \"{}\", \"offered\": {}, \"requests\": {}, \"completed\": {}, \
+             \"rejected\": {}, \"failed\": {}, \"unanswered\": {}, \
+             \"reqs_per_sec\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"mean_batch\": {:.2}}}",
+            r.model,
+            r.format,
+            r.executor,
+            r.mode,
+            r.offered,
+            r.requests,
+            r.completed,
+            r.rejected,
+            r.failed,
+            r.unanswered,
+            r.reqs_per_sec,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.mean_batch
+        );
+        json.push_str(if i + 1 < report.runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

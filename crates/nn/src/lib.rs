@@ -67,4 +67,7 @@ pub use models::{bert_t, vision_zoo, InputKind, Model};
 pub use param::{Param, RefParamVisitor};
 pub use site::{trace_sites, Site, SiteId, SiteTable};
 pub use stats::{profile_model, LayerStats, ModelProfile};
-pub use train::{predict, predict_ref, train_classifier, OptState, Optimizer, Split, TrainConfig};
+pub use train::{
+    predict, predict_one_batch_ref, predict_ref, train_classifier, OptState, Optimizer, Split,
+    TrainConfig,
+};

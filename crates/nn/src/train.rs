@@ -240,15 +240,28 @@ pub fn predict_ref(net: &dyn Layer, inputs: &Tensor, batch: usize) -> Vec<usize>
     mersit_tensor::par::par_chunks_mut(&mut preds, 1, batch, |s0, chunk| {
         let mut i = 0;
         while i < chunk.len() {
-            let _batch_span = mersit_obs::span("nn.predict.batch");
             let hi = (i + batch).min(chunk.len());
             let x = inputs.slice_outer(s0 + i, s0 + hi);
-            let logits = net.forward_ref(x, &mut Ctx::inference());
-            chunk[i..hi].copy_from_slice(&crate::metrics::argmax_rows(&logits));
+            chunk[i..hi].copy_from_slice(&predict_one_batch_ref(net, x));
             i = hi;
         }
     });
     preds
+}
+
+/// Runs one already-coalesced batch through a single inference forward
+/// and returns the predicted class per sample — the FP32 serving entry
+/// point: a dynamic batcher concatenates single-sample requests along the
+/// outer dimension and calls this once. The inference forward has no
+/// cross-sample reductions, so each sample's prediction is bit-identical
+/// to calling this with that sample alone (the batching invariant the
+/// serving layer relies on; pinned by `mersit-serve`'s batching tests).
+/// GEMMs inside the forward still fan out across the global pool.
+#[must_use]
+pub fn predict_one_batch_ref(net: &dyn Layer, x: Tensor) -> Vec<usize> {
+    let _batch_span = mersit_obs::span("nn.predict.batch");
+    let logits = net.forward_ref(x, &mut Ctx::inference());
+    crate::metrics::argmax_rows(&logits)
 }
 
 #[cfg(test)]

@@ -10,10 +10,16 @@
 //!    float executor uses (`channel_max / anchor`) and rounded to codes
 //!    with `Format::encode` — so the code matrix corresponds element for
 //!    element to the float path's fake-quantized weights.
-//! 2. **Activations** are encoded per call with a dynamic per-tensor
-//!    scale (`max|x| / anchor`); codes cannot be carried across the
+//! 2. **Activations** are encoded per call with a dynamic **per-row**
+//!    scale (`max|row| / anchor`); codes cannot be carried across the
 //!    nonlinear layers between GEMMs, so each GEMM re-enters code space
-//!    at its input.
+//!    at its input. Rows are sample-local for every GEMM the engine sees
+//!    (Linear flattens each sample to one row; im2col rows come from one
+//!    sample's patches), so a row's codes — and therefore its outputs —
+//!    never depend on its batch-mates. This is what makes batched
+//!    inference bit-identical to single-sample inference (the serving
+//!    layer's coalescing invariant), and it mirrors per-vector requant
+//!    granularity in hardware.
 //! 3. The product runs **entirely on integers**: every code maps through
 //!    a per-format fixed-point table (`mersit-core::fixpoint::FixTable`),
 //!    products are exact `i128`s, and each dot product is reduced with a
@@ -45,7 +51,7 @@ use mersit_tensor::Tensor;
 use std::sync::Arc;
 
 /// Which execution engine a [`crate::executor::QuantPlan`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Executor {
     /// Fake-quantization: codes are decoded back to f32 and the GEMMs run
     /// in floating point (the paper's accuracy-evaluation methodology).
@@ -395,23 +401,38 @@ impl QuantGemm {
         &self.col_scales
     }
 
-    /// Dynamic per-tensor activation scale: `max|x| / anchor`, or 1.0
-    /// for an all-zero (or empty) tensor.
+    /// Dynamic per-row activation scales: `max|row| / anchor` per rank-2
+    /// input row, or 1.0 for an all-zero (or empty) row. Each row's scale
+    /// depends only on that row, so a sample's codes are independent of
+    /// its batch-mates — the batching bit-identity invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x2` is rank 2.
     #[must_use]
-    pub fn input_scale(&self, x2: &Tensor) -> f64 {
-        let m = x2.max_abs();
-        if m > 0.0 {
-            f64::from(m) / self.anchor
-        } else {
-            1.0
-        }
+    pub fn row_scales(&self, x2: &Tensor) -> Vec<f64> {
+        assert_eq!(x2.shape().len(), 2, "row scales need a rank-2 input");
+        let k = x2.shape()[1];
+        x2.data()
+            .chunks_exact(k.max(1))
+            .map(|row| {
+                let m = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                if m > 0.0 {
+                    f64::from(m) / self.anchor
+                } else {
+                    1.0
+                }
+            })
+            .collect()
     }
 
-    /// Encodes a pre-scaled activation tensor to codes.
-    fn encode_codes(&self, x2: &Tensor, s_a: f64) -> Vec<u16> {
+    /// Encodes an activation tensor to codes, row `i` scaled by `s_a[i]`.
+    fn encode_codes(&self, x2: &Tensor, s_a: &[f64]) -> Vec<u16> {
+        let k = x2.shape()[1];
         x2.data()
-            .iter()
-            .map(|&x| self.fmt.encode(f64::from(x) / s_a))
+            .chunks_exact(k.max(1))
+            .zip(s_a)
+            .flat_map(|(row, &s)| row.iter().map(move |&x| self.fmt.encode(f64::from(x) / s)))
             .collect()
     }
 }
@@ -449,8 +470,8 @@ impl BitTrueGemm for QuantGemm {
         assert_eq!(x2.shape().len(), 2, "bit-true GEMM input must be rank 2");
         let (rows, k) = (x2.shape()[0], x2.shape()[1]);
         assert_eq!(k, self.k, "bit-true GEMM inner dimension mismatch");
-        let s_a = self.input_scale(x2);
-        let a_codes = self.encode_codes(x2, s_a);
+        let s_a = self.row_scales(x2);
+        let a_codes = self.encode_codes(x2, &s_a);
         mersit_obs::add("ptq.bittrue.macs", (rows * k * self.n) as u64);
         let mut out = vec![0.0f32; rows * self.n];
         match &self.path {
@@ -459,9 +480,12 @@ impl BitTrueGemm for QuantGemm {
                 let mut acc = vec![0i128; rows * self.n];
                 qgemm_rows_par(&a_fix, k, packed, &mut acc);
                 let lsb = 2f64.powi(self.lsb_exp);
-                for (o, (raw, j)) in out.iter_mut().zip(acc.iter().zip((0..self.n).cycle())) {
-                    let wrapped = wrap_i128(*raw, self.acc_width);
-                    *o = (wrapped as f64 * lsb * s_a * self.col_scales[j]) as f32;
+                for i in 0..rows {
+                    for j in 0..self.n {
+                        let wrapped = wrap_i128(acc[i * self.n + j], self.acc_width);
+                        out[i * self.n + j] =
+                            (wrapped as f64 * lsb * s_a[i] * self.col_scales[j]) as f32;
+                    }
                 }
             }
             EnginePath::Wide { weights } => {
@@ -486,7 +510,7 @@ impl BitTrueGemm for QuantGemm {
                             acc.add_product(wo.sig * ao.sig, wo.shift + ao.shift, wo.neg ^ ao.neg);
                         }
                         out[i * self.n + j] =
-                            (acc.wrapped_f64(self.acc_width) * lsb * s_a * self.col_scales[j])
+                            (acc.wrapped_f64(self.acc_width) * lsb * s_a[i] * self.col_scales[j])
                                 as f32;
                     }
                 }
@@ -527,13 +551,14 @@ mod tests {
         assert_eq!(out.shape(), &[5, 7]);
 
         let table = FixTable::build(fmt.as_ref()).unwrap();
-        let s_a = eng.input_scale(&x);
+        let s_a = eng.row_scales(&x);
+        let f: &dyn Format = fmt.as_ref();
         let a_codes: Vec<u16> = x
             .data()
-            .iter()
-            .map(|&v| fmt.encode(f64::from(v) / s_a))
+            .chunks_exact(13)
+            .zip(&s_a)
+            .flat_map(|(row, &s)| row.iter().map(move |&v| f.encode(f64::from(v) / s)))
             .collect();
-        let f: &dyn Format = fmt.as_ref();
         let w_codes: Vec<u16> = w
             .data()
             .chunks_exact(13)
@@ -549,8 +574,40 @@ mod tests {
                     &a_codes[i * 13..(i + 1) * 13],
                     eng.acc_width(),
                 );
-                let want = (acc as f64 * lsb * s_a * eng.col_scales()[j]) as f32;
+                let want = (acc as f64 * lsb * s_a[i] * eng.col_scales()[j]) as f32;
                 assert_eq!(out.at(&[i, j]).to_bits(), want.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rows_independent_of_batchmates() {
+        // The batching invariant at engine level: a row's output must be
+        // bit-identical whether it runs alone or inside a larger batch —
+        // for both the fixed-point and the wide path.
+        let mut rng = Rng::new(31);
+        for fmt_name in ["MERSIT(8,2)", "Posit(8,3)"] {
+            let fmt = parse_format(fmt_name).unwrap();
+            let w = Tensor::randn(&[5, 9], 1.0, &mut rng);
+            let eng = QuantGemm::build(fmt, &w);
+            // Rows with wildly different magnitudes, so a per-tensor scale
+            // would visibly couple them.
+            let mut data = Vec::new();
+            for i in 0..4 {
+                let scale = 10f32.powi(i - 2);
+                data.extend((0..9).map(|_| rng.normal() as f32 * scale));
+            }
+            let x = Tensor::from_vec(data, &[4, 9]);
+            let batched = eng.gemm(&x);
+            for i in 0..4 {
+                let single = eng.gemm(&x.slice_outer(i, i + 1));
+                for j in 0..5 {
+                    assert_eq!(
+                        batched.at(&[i, j]).to_bits(),
+                        single.at(&[0, j]).to_bits(),
+                        "{fmt_name} row {i} col {j}"
+                    );
+                }
             }
         }
     }

@@ -3,8 +3,8 @@
 //! (and by how much) their activations diverge.
 //!
 //! The bit-true engine is *not* expected to match the float executor bit
-//! for bit — it re-enters code space at every GEMM input with a dynamic
-//! per-tensor scale, while the float executor fake-quantizes with
+//! for bit — it re-enters code space at every GEMM input with dynamic
+//! per-row scales, while the float executor fake-quantizes with
 //! calibrated per-site scales. What co-verification pins down is that the
 //! divergence is **bounded and quantization-shaped**: small relative to
 //! each site's calibrated maximum, and not growing without bound through

@@ -334,6 +334,24 @@ impl QuantPlan {
         argmax_rows(&logits)
     }
 
+    /// Runs one already-coalesced batch through the plan and returns the
+    /// argmax prediction per sample — the serving layer's entry point: a
+    /// dynamic batcher concatenates single-sample requests and runs one
+    /// forward here. Per-sample arithmetic never depends on batch-mates
+    /// (float taps scale per element with calibrated per-site scales;
+    /// bit-true GEMMs encode activations with per-row scales), so each
+    /// prediction is bit-identical to running that sample alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward consumes a different number of weight
+    /// overrides than the plan owns (a model/plan mismatch).
+    #[must_use]
+    pub fn predict_one_batch(&self, model: &Model, x: Tensor) -> Vec<usize> {
+        let _span = mersit_obs::span("ptq.plan.predict_batch");
+        self.predict_batch(model, x)
+    }
+
     /// Fake-quantized inference through the plan, sharding whole batches
     /// across `mersit_tensor::par` scoped threads. The evaluation forward
     /// has no cross-sample reductions, so predictions are bit-identical

@@ -61,10 +61,11 @@ fn bit_true_tracks_float_executor_predictions() {
 #[test]
 fn bit_true_predictions_stable_across_batch_sizes() {
     // Integer accumulation is exact and the activation scale is
-    // per-tensor *within a GEMM input*, which the forward builds
-    // per-sample-batch — so predictions must not depend on batching
-    // inside a GEMM row block. (Each sample's activations flow
-    // independently; bit-true GEMMs see the same codes either way.)
+    // dynamic *per row* of a GEMM input — and every row the engine sees
+    // (a Linear sample, an im2col patch) comes from exactly one sample —
+    // so predictions must not depend on how samples are grouped into
+    // batches. This is the invariant the serving layer's dynamic batcher
+    // leans on (see `mersit-serve`).
     let mut rng = Rng::new(0xB19);
     let model = vgg_t(8, 10, &mut rng);
     let calib = Tensor::randn(&[5, 3, 8, 8], 1.0, &mut rng);
@@ -72,9 +73,11 @@ fn bit_true_predictions_stable_across_batch_sizes() {
     let cal = calibrate(&model, &calib, 4);
     let fmt = mersit_core::parse_format("MERSIT(8,2)").unwrap();
     let plan = QuantPlan::build_with(&model, fmt, &cal, Executor::BitTrue);
-    let a = plan.predict(&model, &inputs, 1);
-    let b = plan.predict(&model, &inputs, 1);
-    assert_eq!(a, b, "bit-true predict must be deterministic");
+    let single = plan.predict(&model, &inputs, 1);
+    for batch in [3, 4, 11] {
+        let grouped = plan.predict(&model, &inputs, batch);
+        assert_eq!(single, grouped, "batch {batch} changed bit-true output");
+    }
 }
 
 #[test]

@@ -1,0 +1,88 @@
+//! Build-once plan cache: one [`QuantPlan`] per (model, format, executor).
+
+use mersit_core::FormatRef;
+use mersit_nn::Model;
+use mersit_ptq::{Calibration, Executor, QuantPlan};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Identity of one compiled plan: model name, canonical format name (as
+/// reported by `Format::name()`, so `"mersit(8,2)"` and `"MERSIT(8,2)"`
+/// collide onto one entry), and execution engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Model name (e.g. `"vgg_t"`).
+    pub model: String,
+    /// Canonical format name (e.g. `"MERSIT(8,2)"`).
+    pub format: String,
+    /// Execution engine the plan was compiled for.
+    pub executor: Executor,
+}
+
+/// A thread-safe build-once cache of compiled [`QuantPlan`]s.
+///
+/// The first request for a `(model, format, executor)` triple pays the
+/// plan build (weight quantization, panel packing, bit-true engine
+/// construction); every later request — from any thread — shares the same
+/// [`Arc`]'d plan. `QuantPlan::predict*` needs only `&self`, so one plan
+/// serves concurrent batches with no further synchronization.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<QuantPlan>>>,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached plan for `key`, building it on first use.
+    /// Records `serve.plan.cache.hit` / `serve.plan.cache.miss` counters
+    /// and times builds under a `serve.plan.build` span.
+    ///
+    /// The build runs under the cache lock: concurrent callers asking for
+    /// the same triple wait and then share one build rather than racing
+    /// duplicate ones (in the server only the batcher thread builds, so
+    /// nothing else ever blocks on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking build.
+    #[must_use]
+    pub fn get_or_build(
+        &self,
+        key: &PlanKey,
+        model: &Model,
+        fmt: &FormatRef,
+        cal: &Calibration,
+    ) -> Arc<QuantPlan> {
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        if let Some(plan) = plans.get(key) {
+            mersit_obs::incr("serve.plan.cache.hit");
+            return Arc::clone(plan);
+        }
+        mersit_obs::incr("serve.plan.cache.miss");
+        let _span = mersit_obs::span("serve.plan.build");
+        let plan = Arc::new(QuantPlan::build_with(model, fmt.clone(), cal, key.executor));
+        plans.insert(key.clone(), Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of compiled plans currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking build.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// True when no plan has been built yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,155 @@
+//! Server tuning knobs: batching limits, queue depth, default executor.
+
+use mersit_ptq::Executor;
+
+/// Tuning knobs for a [`crate::Server`]: how aggressively to batch, how
+/// much work to admit, and which execution engine requests run on when
+/// they don't pick one.
+///
+/// Built with consuming setters, so a config reads as one expression:
+///
+/// ```
+/// use mersit_serve::ServeConfig;
+///
+/// let cfg = ServeConfig::default().max_batch(16).max_wait_us(500);
+/// assert_eq!(cfg.max_batch, 16);
+/// assert_eq!(cfg.max_wait_us, 500);
+/// assert_eq!(cfg.queue_depth, 64); // untouched knobs keep their defaults
+/// ```
+///
+/// Every knob is also settable from the environment (the `MERSIT_SERVE_*`
+/// variables) via [`ServeConfig::from_env`]; see `SERVING.md` for the
+/// trade-offs behind each default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush a coalesced batch once it reaches this many samples
+    /// (`MERSIT_SERVE_MAX_BATCH`, default 8). Bigger batches amortize
+    /// per-forward overhead and feed the GEMMs larger row blocks; they
+    /// also make the last request in a batch wait for the first.
+    pub max_batch: usize,
+    /// Flush a partial batch once its oldest request has waited this many
+    /// microseconds (`MERSIT_SERVE_MAX_WAIT_US`, default 2000). The
+    /// latency price a request can pay waiting for batch-mates.
+    pub max_wait_us: u64,
+    /// Reject new requests while this many are already queued
+    /// (`MERSIT_SERVE_QUEUE_DEPTH`, default 64). Bounds memory and tail
+    /// latency under overload: past this depth, [`crate::Server::submit`]
+    /// returns [`crate::ServeError::QueueFull`] instead of queueing.
+    pub queue_depth: usize,
+    /// Executor for requests that don't select one
+    /// ([`ServeConfig::from_env`] honors `MERSIT_EXECUTOR`; the plain
+    /// default is [`Executor::Float`]).
+    pub default_executor: Executor,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait_us: 2000,
+            queue_depth: 64,
+            default_executor: Executor::Float,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads every knob from the environment: `MERSIT_SERVE_MAX_BATCH`,
+    /// `MERSIT_SERVE_MAX_WAIT_US`, `MERSIT_SERVE_QUEUE_DEPTH`, and
+    /// `MERSIT_EXECUTOR` for the default engine. Unset or unparsable
+    /// variables keep the [`ServeConfig::default`] values (zero values
+    /// are clamped up to 1 where zero would deadlock admission).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            max_batch: env_usize("MERSIT_SERVE_MAX_BATCH", d.max_batch).max(1),
+            max_wait_us: env_u64("MERSIT_SERVE_MAX_WAIT_US", d.max_wait_us),
+            queue_depth: env_usize("MERSIT_SERVE_QUEUE_DEPTH", d.queue_depth).max(1),
+            default_executor: Executor::from_env(),
+        }
+    }
+
+    /// Sets the batch-size flush threshold (clamped up to 1).
+    ///
+    /// ```
+    /// use mersit_serve::ServeConfig;
+    /// assert_eq!(ServeConfig::default().max_batch(0).max_batch, 1);
+    /// ```
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Sets the latency budget (µs) a partial batch may wait for mates.
+    /// `0` means flush immediately — batching only happens when requests
+    /// are already queued at flush time.
+    #[must_use]
+    pub fn max_wait_us(mut self, us: u64) -> Self {
+        self.max_wait_us = us;
+        self
+    }
+
+    /// Sets the admission-queue depth (clamped up to 1).
+    #[must_use]
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n.max(1);
+        self
+    }
+
+    /// Sets the executor used by requests that don't choose one.
+    ///
+    /// ```
+    /// use mersit_ptq::Executor;
+    /// use mersit_serve::ServeConfig;
+    /// let cfg = ServeConfig::default().default_executor(Executor::BitTrue);
+    /// assert_eq!(cfg.default_executor, Executor::BitTrue);
+    /// ```
+    #[must_use]
+    pub fn default_executor(mut self, e: Executor) -> Self {
+        self.default_executor = e;
+        self
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_documented_values() {
+        let d = ServeConfig::default();
+        assert_eq!(d.max_batch, 8);
+        assert_eq!(d.max_wait_us, 2000);
+        assert_eq!(d.queue_depth, 64);
+        assert_eq!(d.default_executor, Executor::Float);
+    }
+
+    #[test]
+    fn setters_chain_and_clamp() {
+        let c = ServeConfig::default()
+            .max_batch(32)
+            .max_wait_us(0)
+            .queue_depth(0)
+            .default_executor(Executor::BitTrue);
+        assert_eq!(c.max_batch, 32);
+        assert_eq!(c.max_wait_us, 0);
+        assert_eq!(c.queue_depth, 1);
+        assert_eq!(c.default_executor, Executor::BitTrue);
+    }
+}

@@ -1,0 +1,67 @@
+//! # mersit-serve — a persistent in-process inference server over compiled plans
+//!
+//! The serving layer the ROADMAP's north star asks for: admit requests,
+//! coalesce them into GEMM-friendly batches, run them through build-once
+//! [`mersit_ptq::QuantPlan`]s on the global work-stealing pool, and
+//! answer with per-request latency accounting. See `SERVING.md` at the
+//! repository root for the user-facing guide.
+//!
+//! ```text
+//! clients ──submit──▶ bounded queue ──▶ dynamic batcher ──▶ plan cache
+//!    ▲                (backpressure)    (max_batch /        (build once,
+//!    │                                   max_wait_us)        share Arc)
+//!    └──────── Response ◀── ticket ◀─── global work-stealing pool
+//! ```
+//!
+//! # Invariants
+//!
+//! * **Batching is invisible in the bits.** A request's prediction is
+//!   bit-identical whether it ran alone or coalesced into any batch, for
+//!   both executors: the float path quantizes activations element-wise
+//!   through calibrated per-site scales, and the bit-true path encodes
+//!   activations with *per-row* dynamic scales
+//!   ([`mersit_ptq::QuantGemm::row_scales`]) — nothing in a forward mixes
+//!   batch-mates. Pinned by `tests/batching_props.rs` across both
+//!   executors and thread counts {1, 2, 7}.
+//! * **Admission conservation.** Every [`Server::submit`] resolves to
+//!   exactly one of: a [`Response`], an admission error
+//!   ([`ServeError::QueueFull`] / validation), or
+//!   [`ServeError::Internal`] if its batch panicked in compute. Shutdown
+//!   drains the queue and answers everything in it — no request is
+//!   silently dropped. Pinned by `tests/stress.rs`.
+//! * **One compute pool.** The server spawns exactly one batcher thread,
+//!   which only admits and coalesces; every tensor operation dispatches
+//!   through the existing `mersit_tensor::pool` (sized by
+//!   `MERSIT_THREADS`). There is no second compute pool to fight it.
+//! * **Plans build once.** The [`PlanCache`] memoizes by
+//!   `(model, canonical format, executor)`; concurrent requests for the
+//!   same triple share one [`std::sync::Arc`]'d plan.
+//!
+//! # Observability
+//!
+//! With `MERSIT_OBS=1`: `serve.queue.depth` and `serve.batch.size`
+//! histograms, `serve.requests` / `serve.admission.rejected` /
+//! `serve.plan.cache.hit` / `serve.plan.cache.miss` counters, and
+//! `serve.batch.flush` / `serve.plan.build` spans.
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss,
+    clippy::must_use_candidate,
+    clippy::module_name_repetitions,
+    clippy::doc_markdown,
+    clippy::missing_errors_doc,
+    // Lock-poisoning expects: a poisoned serve mutex is already a bug.
+    clippy::missing_panics_doc
+)]
+
+pub mod cache;
+pub mod config;
+pub mod server;
+
+pub use cache::{PlanCache, PlanKey};
+pub use config::ServeConfig;
+pub use server::{Request, Response, ServeError, ServeStats, Server, Ticket};

@@ -1,0 +1,179 @@
+//! The serving layer's load-bearing invariant: coalescing requests into
+//! batches is invisible in the bits. A batch of N requests must return
+//! outputs bit-identical to N single-sample inference calls — for the
+//! float executor, the bit-true executor, and the FP32 reference path,
+//! at thread counts 1, 2 and 7.
+//!
+//! The pool and the `MERSIT_THREADS` latch are process-global, so the
+//! thread sweep lives in a single `#[test]` (the `pool_stress` idiom:
+//! set the env var, `pool::shutdown()`, and the next dispatch re-latches
+//! at the new size).
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use mersit_core::parse_format;
+use mersit_nn::layers::{Act, ActKind, Linear, Sequential};
+use mersit_nn::models::vgg_t;
+use mersit_nn::{predict_ref, InputKind, Model};
+use mersit_ptq::{calibrate, Calibration, Executor, QuantPlan};
+use mersit_serve::{Request, ServeConfig, Server};
+use mersit_tensor::{pool, Rng, Tensor};
+
+/// Extracts sample `i` of `x` *without* the batch dimension (the shape a
+/// serving client submits).
+fn sample(x: &Tensor, i: usize) -> Tensor {
+    let s = x.slice_outer(i, i + 1);
+    Tensor::from_vec(s.data().to_vec(), &x.shape()[1..])
+}
+
+/// Single-sample references for every path the server can take.
+struct Refs {
+    fp32: Vec<usize>,
+    by_executor: HashMap<&'static str, Vec<usize>>,
+}
+
+fn single_sample_refs(model: &Model, cal: &Calibration, x: &Tensor, fmt_name: &str) -> Refs {
+    let fmt = parse_format(fmt_name).unwrap();
+    let mut by_executor = HashMap::new();
+    for (label, ex) in [("float", Executor::Float), ("bittrue", Executor::BitTrue)] {
+        let plan = QuantPlan::build_with(model, fmt.clone(), cal, ex);
+        // batch = 1: N independent single-sample predictions.
+        by_executor.insert(label, plan.predict(model, x, 1));
+    }
+    Refs {
+        fp32: predict_ref(&model.net, x, 1),
+        by_executor,
+    }
+}
+
+/// Drives one server over a calibrated model: submits every sample as a
+/// single-sample request (per executor and for the FP32 path), lets the
+/// batcher coalesce them, and asserts every prediction matches the
+/// single-sample reference exactly. Returns the largest batch size the
+/// responses report, so callers can assert coalescing actually happened.
+fn serve_and_check(model: Model, cal: Calibration, x: &Tensor, fmt_name: &str) -> usize {
+    let n = x.shape()[0];
+    let name = model.name.clone();
+    let refs = single_sample_refs(&model, &cal, x, fmt_name);
+    let cfg = ServeConfig::default()
+        .max_batch(5)
+        .max_wait_us(200_000)
+        .queue_depth(4 * n + 8);
+    let server = Server::start(vec![(model, cal)], cfg);
+    let mut max_batch_seen = 0;
+
+    for (label, ex) in [("float", Executor::Float), ("bittrue", Executor::BitTrue)] {
+        let tickets: Vec<_> = (0..n)
+            .map(|i| {
+                server
+                    .submit(
+                        Request::new(&name, sample(x, i))
+                            .format(fmt_name)
+                            .executor(ex),
+                    )
+                    .expect("admission")
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().expect("served");
+            assert_eq!(
+                resp.prediction, refs.by_executor[label][i],
+                "{label} sample {i} diverged from single-sample reference"
+            );
+            max_batch_seen = max_batch_seen.max(resp.batch_size);
+        }
+    }
+
+    // FP32 reference path (no format): same invariant vs predict_ref.
+    let tickets: Vec<_> = (0..n)
+        .map(|i| server.submit(Request::new(&name, sample(x, i))).unwrap())
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let resp = t.wait().expect("served");
+        assert_eq!(resp.prediction, refs.fp32[i], "fp32 sample {i} diverged");
+        max_batch_seen = max_batch_seen.max(resp.batch_size);
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 3 * n as u64);
+    assert_eq!(stats.completed, 3 * n as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.failed, 0);
+    // One plan per (format, executor); the FP32 path builds none.
+    assert_eq!(stats.cached_plans, 2);
+    max_batch_seen
+}
+
+#[test]
+fn batched_equals_single_sample_across_executors_and_threads() {
+    for threads in [1usize, 2, 7] {
+        std::env::set_var("MERSIT_THREADS", threads.to_string());
+        pool::shutdown(); // re-latch the pool at the new size
+        let mut rng = Rng::new(0xBA7C + threads as u64);
+        let model = vgg_t(8, 10, &mut rng);
+        let x = Tensor::randn(&[11, 3, 8, 8], 1.0, &mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let max_batch = serve_and_check(model, cal, &x, "MERSIT(8,2)");
+        assert!(
+            max_batch >= 2,
+            "batcher never coalesced at {threads} threads (max batch {max_batch})"
+        );
+    }
+    std::env::remove_var("MERSIT_THREADS");
+    pool::shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized compositions on a small MLP: any sample count, flush
+    /// threshold, latency budget and seed — batched predictions still
+    /// equal the single-sample references for every path.
+    #[test]
+    fn random_compositions_preserve_bit_identity(
+        n in 1usize..10,
+        max_batch in 1usize..7,
+        max_wait_us in 0u64..3000,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::new(0xC0FFEE ^ seed);
+        let mut net = Sequential::new();
+        net.push(Linear::new(12, 16, &mut rng));
+        net.push(Act::new(ActKind::Relu));
+        net.push(Linear::new(16, 4, &mut rng));
+        let model = Model {
+            name: "toy_mlp".into(),
+            net,
+            input: InputKind::Image,
+        };
+        let x = Tensor::randn(&[n, 12], 1.0, &mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let fmt_name = "Posit(8,1)";
+        let refs = single_sample_refs(&model, &cal, &x, fmt_name);
+        let name = model.name.clone();
+        let cfg = ServeConfig::default()
+            .max_batch(max_batch)
+            .max_wait_us(max_wait_us)
+            .queue_depth(4 * n + 8);
+        let server = Server::start(vec![(model, cal)], cfg);
+        for (label, ex) in [("float", Executor::Float), ("bittrue", Executor::BitTrue)] {
+            let tickets: Vec<_> = (0..n)
+                .map(|i| {
+                    server
+                        .submit(Request::new(&name, sample(&x, i)).format(fmt_name).executor(ex))
+                        .expect("admission")
+                })
+                .collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                prop_assert_eq!(t.wait().expect("served").prediction, refs.by_executor[label][i]);
+            }
+        }
+        let tickets: Vec<_> = (0..n)
+            .map(|i| server.submit(Request::new(&name, sample(&x, i))).unwrap())
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            prop_assert_eq!(t.wait().expect("served").prediction, refs.fp32[i]);
+        }
+    }
+}

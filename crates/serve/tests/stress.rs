@@ -1,0 +1,143 @@
+//! Admission-path stress: queue-full rejection under backpressure,
+//! graceful shutdown with in-flight requests (everything admitted gets
+//! answered), and the validation / internal-error paths.
+//!
+//! One `#[test]` fn: the internal-error leg swaps the process-global
+//! panic hook, which must not race another test in this binary.
+
+use mersit_nn::layers::{Linear, Sequential};
+use mersit_nn::{InputKind, Model};
+use mersit_ptq::calibrate;
+use mersit_serve::{Request, ServeConfig, ServeError, Server};
+use mersit_tensor::{Rng, Tensor};
+
+fn toy_model(rng: &mut Rng) -> (Model, Tensor) {
+    let mut net = Sequential::new();
+    net.push(Linear::new(6, 4, rng));
+    let model = Model {
+        name: "toy".into(),
+        net,
+        input: InputKind::Image,
+    };
+    let x = Tensor::randn(&[8, 6], 1.0, rng);
+    (model, x)
+}
+
+fn one_sample(rng: &mut Rng) -> Tensor {
+    Tensor::randn(&[6], 1.0, rng)
+}
+
+#[test]
+fn backpressure_validation_and_graceful_shutdown() {
+    let mut rng = Rng::new(0x57E55);
+
+    // --- Queue-full rejection: a deep batcher wait keeps requests queued.
+    {
+        let (model, x) = toy_model(&mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let cfg = ServeConfig::default()
+            .max_batch(64) // never flush on size...
+            .max_wait_us(300_000) // ...and not on time within this test
+            .queue_depth(4);
+        let mut server = Server::start(vec![(model, cal)], cfg);
+        let tickets: Vec<_> = (0..4)
+            .map(|_| {
+                server
+                    .submit(Request::new("toy", one_sample(&mut rng)).format("INT8"))
+                    .expect("within queue depth")
+            })
+            .collect();
+        // The 5th must bounce with backpressure, not block or queue.
+        match server.submit(Request::new("toy", one_sample(&mut rng)).format("INT8")) {
+            Err(ServeError::QueueFull { depth: 4 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Graceful shutdown with 4 requests still queued: all answered.
+        server.shutdown();
+        let mut sizes = Vec::new();
+        for t in tickets {
+            let resp = t.wait().expect("drained on shutdown");
+            sizes.push(resp.batch_size);
+        }
+        assert!(
+            sizes.iter().all(|&s| s == 4),
+            "drain batched all 4: {sizes:?}"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.failed, 0);
+        // Post-shutdown submissions are refused, not dropped.
+        match server.submit(Request::new("toy", one_sample(&mut rng))) {
+            Err(ServeError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+    }
+
+    // --- Validation errors never occupy queue slots.
+    {
+        let (model, x) = toy_model(&mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let server = Server::start(vec![(model, cal)], ServeConfig::default());
+        match server.submit(Request::new("nope", one_sample(&mut rng))) {
+            Err(ServeError::UnknownModel(m)) => assert_eq!(m, "nope"),
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        match server.submit(Request::new("toy", one_sample(&mut rng)).format("MERSIT(9,9)")) {
+            Err(ServeError::BadFormat(_)) => {}
+            other => panic!("expected BadFormat, got {other:?}"),
+        }
+        assert_eq!(server.stats().submitted, 0);
+    }
+
+    // --- A compute panic fails its batch with Internal; the server and
+    // differently-shaped batch-mates keep working. Shape is part of the
+    // grouping key, so the bad request batches alone.
+    {
+        let (model, x) = toy_model(&mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let cfg = ServeConfig::default().max_wait_us(0);
+        let server = Server::start(vec![(model, cal)], cfg);
+        let bad = Tensor::randn(&[9], 1.0, &mut rng); // Linear expects 6
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let bad_result = server.infer(Request::new("toy", bad));
+        std::panic::set_hook(prev);
+        match bad_result {
+            Err(ServeError::Internal(_)) => {}
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // Server survived and still serves well-formed requests.
+        let ok = server.infer(Request::new("toy", one_sample(&mut rng)).format("INT8"));
+        assert!(ok.is_ok(), "server dead after batch panic: {ok:?}");
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    // --- Shutdown via drop with a burst in flight: every ticket resolves.
+    {
+        let (model, x) = toy_model(&mut rng);
+        let cal = calibrate(&model, &x, 4);
+        let cfg = ServeConfig::default().max_batch(3).queue_depth(128);
+        let server = Server::start(vec![(model, cal)], cfg);
+        let tickets: Vec<_> = (0..17)
+            .map(|i| {
+                let fmt = if i % 2 == 0 { "INT8" } else { "Posit(8,1)" };
+                server
+                    .submit(Request::new("toy", one_sample(&mut rng)).format(fmt))
+                    .expect("admission")
+            })
+            .collect();
+        let stats_before = server.stats();
+        assert_eq!(stats_before.submitted, 17);
+        drop(server); // drains and joins
+        let served = tickets
+            .into_iter()
+            .map(mersit_serve::Ticket::wait)
+            .filter(Result::is_ok)
+            .count();
+        assert_eq!(served, 17, "drop must answer every admitted request");
+    }
+}

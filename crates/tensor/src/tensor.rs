@@ -410,7 +410,9 @@ impl Tensor {
         }
     }
 
-    /// Concatenates along the outermost dimension.
+    /// Concatenates along the outermost dimension. Allocates the result
+    /// exactly once (the serving batcher coalesces requests through this
+    /// on every flush, so no growth reallocations on the hot path).
     ///
     /// # Panics
     ///
@@ -419,14 +421,15 @@ impl Tensor {
     pub fn cat_outer(parts: &[&Self]) -> Self {
         assert!(!parts.is_empty(), "cat of nothing");
         let inner = &parts[0].shape[1..];
-        let mut data = Vec::new();
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.data.len()).sum());
         let mut outer = 0;
         for p in parts {
             assert_eq!(&p.shape[1..], inner, "inner shape mismatch");
             outer += p.shape[0];
             data.extend_from_slice(&p.data);
         }
-        let mut shape = vec![outer];
+        let mut shape = Vec::with_capacity(1 + inner.len());
+        shape.push(outer);
         shape.extend_from_slice(inner);
         Self { data, shape }
     }

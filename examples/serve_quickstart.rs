@@ -1,0 +1,74 @@
+//! Quickstart for the serving layer: start an in-process server over a
+//! calibrated model, submit single-sample requests from several client
+//! threads, and watch the dynamic batcher coalesce them.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+//! (see SERVING.md for the full guide and every knob).
+
+use mersit_nn::models::vgg_t;
+use mersit_ptq::{calibrate, Executor};
+use mersit_serve::{Request, ServeConfig, Server};
+use mersit_tensor::{Rng, Tensor};
+
+fn main() {
+    // 1. A model plus its calibration (per-site activation maxima) —
+    //    in a real deployment these come from training + a calibration
+    //    split; here an untrained zoo model on random data suffices.
+    let mut rng = Rng::new(42);
+    let model = vgg_t(8, 10, &mut rng);
+    let name = model.name.clone();
+    let calib = Tensor::randn(&[16, 3, 8, 8], 1.0, &mut rng);
+    let cal = calibrate(&model, &calib, 8);
+
+    // 2. Configure and start the server. `from_env` honors the
+    //    MERSIT_SERVE_* variables; setters override programmatically.
+    let cfg = ServeConfig::from_env().max_batch(4).max_wait_us(2000);
+    let server = Server::start(vec![(model, cal)], cfg);
+
+    // 3. Fire 12 single-sample requests from 4 client threads. Each
+    //    request picks its own format/executor; the batcher coalesces
+    //    compatible ones into shared forwards.
+    let samples: Vec<Tensor> = (0..12)
+        .map(|_| Tensor::randn(&[3, 8, 8], 1.0, &mut rng))
+        .collect();
+    std::thread::scope(|s| {
+        for (c, chunk) in samples.chunks(3).enumerate() {
+            let (server, name) = (&server, &name);
+            s.spawn(move || {
+                for (i, sample) in chunk.iter().enumerate() {
+                    let req = Request::new(name, sample.clone())
+                        .format("MERSIT(8,2)")
+                        .executor(Executor::BitTrue);
+                    match server.infer(req) {
+                        Ok(r) => println!(
+                            "client {c} sample {i}: class {} (batch of {}, {}us queued, {}us total)",
+                            r.prediction, r.batch_size, r.queue_us, r.total_us
+                        ),
+                        Err(e) => println!("client {c} sample {i}: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // 4. The same sample is bit-identical alone or batched — resubmit
+    //    one with an idle queue and compare.
+    let alone = server
+        .infer(
+            Request::new(&name, samples[0].clone())
+                .format("MERSIT(8,2)")
+                .executor(Executor::BitTrue),
+        )
+        .expect("serve");
+    println!(
+        "sample 0 alone: class {} (batch of {})",
+        alone.prediction, alone.batch_size
+    );
+
+    let stats = server.stats();
+    println!(
+        "served {} requests in {} batches ({} plans cached, {} rejected)",
+        stats.completed, stats.batches, stats.cached_plans, stats.rejected
+    );
+    // Dropping the server drains the queue and joins the batcher.
+}

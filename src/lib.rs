@@ -26,4 +26,5 @@ pub use mersit_netlist as netlist;
 pub use mersit_nn as nn;
 pub use mersit_obs as obs;
 pub use mersit_ptq as ptq;
+pub use mersit_serve as serve;
 pub use mersit_tensor as tensor;
