@@ -12,68 +12,34 @@
 
 use mersit_core::parse_format;
 use mersit_nn::models::{efficientnet_b0_t, vgg_t, Model};
-use mersit_nn::{predict, synthetic_images, train_classifier, Ctx, Layer, Tap, TrainConfig};
+use mersit_nn::{predict, synthetic_images, train_classifier, Ctx, Layer, TrainConfig};
 use mersit_ptq::{
-    calibrate, evaluate_format, quantize_adaptivfloat, quantize_bfp, Metric, WeightSnapshot,
+    calibrate, evaluate_format, quantize_weights_alt, AltAssignment, AltQuant, AltTap, Metric,
+    WeightSnapshot,
 };
 use mersit_tensor::{Rng, Tensor};
 
-/// Which §2.1 quantizer a tap applies.
-#[derive(Clone, Copy)]
-enum Alt {
-    AdaptivFloat,
-    Bfp,
-}
+/// The two §2.1 quantizers at the paper's comparison points.
+const ADAPTIVFLOAT: AltQuant = AltQuant::AdaptivFloat {
+    exp_bits: 4,
+    frac_bits: 3,
+};
+const BFP8: AltQuant = AltQuant::Bfp {
+    mant_bits: 7,
+    group: 16,
+};
 
-struct AltTap(Alt);
-
-impl Tap for AltTap {
-    fn activation(&mut self, _site: mersit_nn::Site<'_>, t: Tensor) -> Tensor {
-        match self.0 {
-            Alt::AdaptivFloat => quantize_adaptivfloat(&t, 4, 3),
-            Alt::Bfp => quantize_bfp(&t, 7, 16),
-        }
-    }
-}
-
-fn quantize_weights_alt(model: &mut Model, alt: Alt) {
-    model.net.visit_params("", &mut |_, p| {
-        if p.value.shape().len() >= 2 {
-            p.value = match alt {
-                // Per-channel adaptive bias: apply per outermost slice.
-                Alt::AdaptivFloat => {
-                    let oc = p.value.shape()[0];
-                    let inner: usize = p.value.shape()[1..].iter().product();
-                    let mut out = p.value.clone();
-                    for c in 0..oc {
-                        let slice = Tensor::from_vec(
-                            p.value.data()[c * inner..(c + 1) * inner].to_vec(),
-                            &[inner],
-                        );
-                        let q = quantize_adaptivfloat(&slice, 4, 3);
-                        out.data_mut()[c * inner..(c + 1) * inner].copy_from_slice(q.data());
-                    }
-                    out
-                }
-                Alt::Bfp => quantize_bfp(&p.value, 7, 16),
-            };
-        }
-    });
-}
-
-fn eval_alt(model: &mut Model, alt: Alt, inputs: &Tensor, labels: &[usize]) -> f64 {
+fn eval_alt(model: &mut Model, alt: AltQuant, inputs: &Tensor, labels: &[usize]) -> f64 {
+    let assign = AltAssignment::uniform(alt);
     let snap = WeightSnapshot::capture(model);
-    quantize_weights_alt(model, alt);
+    quantize_weights_alt(model, &assign);
     let n = inputs.shape()[0];
     let mut preds = Vec::with_capacity(n);
     let mut i = 0;
     while i < n {
         let hi = (i + 50).min(n);
-        let x = match alt {
-            Alt::AdaptivFloat => quantize_adaptivfloat(&inputs.slice_outer(i, hi), 4, 3),
-            Alt::Bfp => quantize_bfp(&inputs.slice_outer(i, hi), 7, 16),
-        };
-        let mut tap = AltTap(alt);
+        let x = alt.apply(&inputs.slice_outer(i, hi));
+        let mut tap = AltTap::new(assign.clone());
         let mut ctx = Ctx::with_tap(&mut tap);
         let logits = model.net.forward(x, &mut ctx);
         preds.extend(mersit_nn::argmax_rows(&logits));
@@ -115,13 +81,8 @@ fn main() {
             let preds = evaluate_format(&mut model, fmt.as_ref(), &cal, &ds.test.inputs, 50);
             Metric::Accuracy.score(&preds, &ds.test.labels)
         };
-        let af = eval_alt(
-            &mut model,
-            Alt::AdaptivFloat,
-            &ds.test.inputs,
-            &ds.test.labels,
-        );
-        let bfp = eval_alt(&mut model, Alt::Bfp, &ds.test.inputs, &ds.test.labels);
+        let af = eval_alt(&mut model, ADAPTIVFLOAT, &ds.test.inputs, &ds.test.labels);
+        let bfp = eval_alt(&mut model, BFP8, &ds.test.inputs, &ds.test.labels);
         println!("{name:<20} {fp32:>7.1} {fp84:>9.1} {af:>13.1} {bfp:>9.1}");
     }
     println!();

@@ -8,8 +8,9 @@
 use crate::mac::{scopes as mac_scopes, MacUnit};
 use crate::mult::{scopes as mult_scopes, standalone_multiplier};
 use crate::ports::Decoder;
-use mersit_core::Format;
+use mersit_core::{Format, FormatRef, InvalidFormatError};
 use mersit_netlist::{AreaReport, PowerReport, Simulator};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Area and power of one block.
@@ -204,13 +205,141 @@ pub fn mac_cost_with_margin(
     }
 }
 
+/// A memoizing front-end over [`mac_cost`]: one gate-level MAC
+/// simulation per distinct format name, shared across every
+/// [`assignment_cost`] roll-up — the per-layer assignment search probes
+/// hundreds of assignments built from a handful of formats, and must not
+/// re-simulate the same MAC at every swap step.
+#[derive(Debug)]
+pub struct MacCostCache {
+    weights: Vec<f64>,
+    acts: Vec<f64>,
+    dot_len: usize,
+    cache: HashMap<String, MacBreakdown>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MacCostCache {
+    /// A cache simulating every format's MAC on the same operand value
+    /// pools (encoded per format), with accumulators cleared every
+    /// `dot_len` operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either pool is empty or `dot_len` is 0.
+    #[must_use]
+    pub fn new(weights: Vec<f64>, acts: Vec<f64>, dot_len: usize) -> Self {
+        assert!(
+            !weights.is_empty() && !acts.is_empty(),
+            "empty operand pools"
+        );
+        assert!(dot_len > 0, "dot_len must be positive");
+        Self {
+            weights,
+            acts,
+            dot_len,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The MAC breakdown for a format, simulated on first use and served
+    /// from the cache afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the format has no hardware decoder (INT8,
+    /// or an unknown name).
+    pub fn breakdown(&mut self, fmt: &FormatRef) -> Result<&MacBreakdown, InvalidFormatError> {
+        let name = fmt.name();
+        if self.cache.contains_key(&name) {
+            self.hits += 1;
+            mersit_obs::incr("hw.cost.mac_cache.hit");
+        } else {
+            let dec = crate::decoder_for(&name)?;
+            let stream = encode_stream(fmt.as_ref(), &self.weights, &self.acts);
+            let bd = mac_cost(dec.as_ref(), &stream, self.dot_len);
+            self.cache.insert(name.clone(), bd);
+            self.misses += 1;
+            mersit_obs::incr("hw.cost.mac_cache.miss");
+        }
+        Ok(&self.cache[&name])
+    }
+
+    /// Cache hits served so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Distinct formats simulated so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The hardware cost of one per-layer format assignment, rolled up over
+/// the layers' MAC counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentCost {
+    /// MAC-count-weighted mean per-MAC cell area (µm²) — the area of the
+    /// average MAC executed under this assignment.
+    pub area_um2: f64,
+    /// MAC-count-weighted mean per-MAC power (µW at 100 MHz).
+    pub power_uw: f64,
+    /// Total MACs the weighting covered.
+    pub macs: u64,
+}
+
+/// Rolls up the per-assignment hardware cost: each layer contributes its
+/// format's full-MAC area/power weighted by the layer's MAC count
+/// (`Σ macs·cost / Σ macs`). Layers with zero MACs (embedding lookups)
+/// contribute nothing. MAC breakdowns come from `cache`, so repeated
+/// formats simulate once.
+///
+/// # Errors
+///
+/// Returns an error when any layer with MACs uses a format that has no
+/// hardware decoder.
+///
+/// # Panics
+///
+/// Panics when every layer has zero MACs (an empty roll-up has no
+/// meaningful weighted mean).
+pub fn assignment_cost(
+    cache: &mut MacCostCache,
+    layers: &[(FormatRef, u64)],
+) -> Result<AssignmentCost, InvalidFormatError> {
+    let mut area = 0.0f64;
+    let mut power = 0.0f64;
+    let mut macs = 0u64;
+    for (fmt, m) in layers {
+        if *m == 0 {
+            continue;
+        }
+        let bd = cache.breakdown(fmt)?;
+        area += bd.total.area_um2 * *m as f64;
+        power += bd.total.power_uw * *m as f64;
+        macs += m;
+    }
+    assert!(macs > 0, "assignment_cost over zero MACs");
+    Ok(AssignmentCost {
+        area_um2: area / macs as f64,
+        power_uw: power / macs as f64,
+        macs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dec_fp8::Fp8Decoder;
     use crate::dec_mersit::MersitDecoder;
     use crate::dec_posit::PositDecoder;
-    use mersit_core::{Fp8, Mersit, Posit};
+    use mersit_core::{parse_format, Fp8, Mersit, Posit};
 
     fn stream_for(fmt: &dyn Format) -> Vec<(u16, u16)> {
         let w = gaussian_samples(200, 0.05, 7);
@@ -265,6 +394,50 @@ mod tests {
             let sum = c.multiplier.area_um2 + c.aligner.area_um2 + c.accumulator.area_um2;
             assert!(sum <= c.total.area_um2 + 1e-6, "{}", c.name);
         }
+    }
+
+    #[test]
+    fn assignment_cost_weights_by_macs_and_memoizes() {
+        let w = gaussian_samples(120, 0.05, 7);
+        let a = gaussian_samples(120, 1.0, 13);
+        let mut cache = MacCostCache::new(w, a, 32);
+        let me = parse_format("MERSIT(8,2)").unwrap();
+        let fp = parse_format("FP(8,4)").unwrap();
+
+        // Uniform assignment == the plain MAC cost of that format.
+        let uni = assignment_cost(&mut cache, &[(me.clone(), 700), (me.clone(), 300)]).unwrap();
+        let me_total = cache.breakdown(&me).unwrap().total;
+        assert!((uni.area_um2 - me_total.area_um2).abs() < 1e-9);
+        assert!((uni.power_uw - me_total.power_uw).abs() < 1e-9);
+        assert_eq!(uni.macs, 1000);
+
+        // A 50/50 MAC split lands exactly between the two formats.
+        let mix = assignment_cost(&mut cache, &[(me.clone(), 500), (fp.clone(), 500)]).unwrap();
+        let fp_total = cache.breakdown(&fp).unwrap().total;
+        let mid = 0.5 * (me_total.area_um2 + fp_total.area_um2);
+        assert!(
+            (mix.area_um2 - mid).abs() < 1e-9,
+            "{} vs {mid}",
+            mix.area_um2
+        );
+        // Zero-MAC layers are ignored, even unpriceable ones.
+        let with_zero = assignment_cost(
+            &mut cache,
+            &[
+                (me.clone(), 500),
+                (fp.clone(), 500),
+                (parse_format("INT8").unwrap(), 0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(with_zero, mix);
+
+        // Two formats simulated once each; everything else was a hit.
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hits() >= 6, "hits {}", cache.hits());
+
+        // INT8 with MACs has no decoder: the roll-up reports it.
+        assert!(assignment_cost(&mut cache, &[(parse_format("INT8").unwrap(), 10)]).is_err());
     }
 
     #[test]

@@ -73,8 +73,8 @@ pub mod ports;
 pub mod requant;
 
 pub use cost::{
-    encode_stream, gaussian_samples, mac_cost, mac_cost_with_margin, multiplier_cost, BlockCost,
-    MacBreakdown, MultiplierBreakdown,
+    assignment_cost, encode_stream, gaussian_samples, mac_cost, mac_cost_with_margin,
+    multiplier_cost, AssignmentCost, BlockCost, MacBreakdown, MacCostCache, MultiplierBreakdown,
 };
 pub use dec_fp8::Fp8Decoder;
 pub use dec_mersit::MersitDecoder;

@@ -1,6 +1,7 @@
 //! The Table 2 harness: trains nothing itself — given a *pre-trained*
 //! model and a dataset, it calibrates once and scores every format.
 
+use crate::assign::FormatAssignment;
 use crate::bittrue::Executor;
 use crate::calibrate::{calibrate, Calibration};
 use crate::executor::QuantPlan;
@@ -84,6 +85,25 @@ pub fn evaluate_model(
     metric: Metric,
     batch: usize,
 ) -> (EvalRow, Calibration) {
+    let assigns: Vec<FormatAssignment> = formats
+        .iter()
+        .map(|f| FormatAssignment::uniform(f.clone()))
+        .collect();
+    evaluate_assignments(model, ds, &assigns, metric, batch)
+}
+
+/// The sweep generalized to per-layer format assignments: every entry —
+/// uniform or mixed — compiles into its own [`QuantPlan`] and scores on
+/// the test split. [`evaluate_model`] is the uniform special case; scores
+/// are labeled by the canonical [`FormatAssignment::name`], so uniform
+/// rows keep their plain format names.
+pub fn evaluate_assignments(
+    model: &mut Model,
+    ds: &Dataset,
+    assigns: &[FormatAssignment],
+    metric: Metric,
+    batch: usize,
+) -> (EvalRow, Calibration) {
     let executor = Executor::from_env();
     let cal = calibrate(model, &ds.calib.inputs, batch);
     let fp_preds = predict(&mut model.net, &ds.test.inputs, batch);
@@ -91,14 +111,14 @@ pub fn evaluate_model(
     let scores = {
         let _sweep = mersit_obs::span("ptq.sweep");
         let shared: &Model = model;
-        formats
+        assigns
             .iter()
-            .map(|fmt| {
-                let _span = mersit_obs::span_dyn(|| format!("ptq.evaluate.{}", fmt.name()));
-                let plan = QuantPlan::build_with(shared, fmt.clone(), &cal, executor);
+            .map(|assign| {
+                let _span = mersit_obs::span_dyn(|| format!("ptq.evaluate.{}", assign.name()));
+                let plan = QuantPlan::build_with(shared, assign.clone(), &cal, executor);
                 let preds = plan.predict(shared, &ds.test.inputs, batch);
                 FormatScore {
-                    format: fmt.name(),
+                    format: assign.name(),
                     score: metric.score(&preds, &ds.test.labels),
                 }
             })

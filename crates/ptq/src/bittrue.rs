@@ -9,7 +9,12 @@
 //!    original FP32 weights are scaled by the *same* per-channel scale the
 //!    float executor uses (`channel_max / anchor`) and rounded to codes
 //!    with `Format::encode` — so the code matrix corresponds element for
-//!    element to the float path's fake-quantized weights.
+//!    element to the float path's fake-quantized weights. Each engine is
+//!    built for **one layer's** format as resolved by the plan's
+//!    [`crate::FormatAssignment`] — under a mixed assignment, every
+//!    layer's codes, row scales and `FixTable` follow its own format;
+//!    under a uniform one this degenerates to the historical
+//!    one-format-per-plan build.
 //! 2. **Activations** are encoded per call with a dynamic **per-row**
 //!    scale (`max|row| / anchor`); codes cannot be carried across the
 //!    nonlinear layers between GEMMs, so each GEMM re-enters code space

@@ -28,11 +28,12 @@
 //! divergence into a `ptq.coverify.site.<path>` histogram, giving a
 //! log2-bucketed per-site divergence profile over the whole run.
 
+use crate::assign::FormatAssignment;
 use crate::bittrue::Executor;
 use crate::calibrate::Calibration;
 use crate::executor::{quantize_site, QuantPlan};
 use crate::quantizer::quantize_tensor;
-use mersit_core::{Format, FormatRef};
+use mersit_core::FormatRef;
 use mersit_nn::{argmax_rows, Ctx, Layer, Model, Site, Tap};
 use mersit_tensor::Tensor;
 
@@ -54,7 +55,7 @@ pub struct SiteDivergence {
 pub struct DivergenceReport {
     /// Model name.
     pub model: String,
-    /// Format name.
+    /// Canonical assignment name (the plain format name when uniform).
     pub format: String,
     /// Number of samples compared.
     pub samples: usize,
@@ -111,9 +112,10 @@ struct SiteAgg {
 }
 
 /// The float pass's tap: stores each incoming (pre-quantization)
-/// activation, then quantizes exactly as the plan tap would.
+/// activation, then quantizes exactly as the plan tap would — through the
+/// format each site resolves to under the plan's assignment.
 struct RecordTap<'a> {
-    fmt: &'a dyn Format,
+    fmts: &'a [FormatRef],
     scales: &'a [Option<f64>],
     recorded: Vec<Tensor>,
 }
@@ -121,7 +123,7 @@ struct RecordTap<'a> {
 impl Tap for RecordTap<'_> {
     fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
         self.recorded.push(t.clone());
-        quantize_site(self.fmt, self.scales, site, t)
+        quantize_site(self.fmts[site.id.index()].as_ref(), self.scales, site, t)
     }
 }
 
@@ -129,7 +131,7 @@ impl Tap for RecordTap<'_> {
 /// float pass's recording (same visit order — the site table is the
 /// contract), then quantizes identically.
 struct CompareTap<'a> {
-    fmt: &'a dyn Format,
+    fmts: &'a [FormatRef],
     scales: &'a [Option<f64>],
     recorded: &'a [Tensor],
     next: usize,
@@ -156,13 +158,15 @@ impl Tap for CompareTap<'_> {
         agg.elems += t.data().len() as u64;
         agg.max_abs = agg.max_abs.max(visit_max);
         mersit_obs::observe_dyn(|| format!("ptq.coverify.site.{}", site.path), visit_max);
-        quantize_site(self.fmt, self.scales, site, t)
+        quantize_site(self.fmts[site.id.index()].as_ref(), self.scales, site, t)
     }
 }
 
-/// Runs both executors of `fmt` over `inputs` and returns the divergence
-/// report. Batches run serially (the comparison needs the two passes'
-/// site-visit orders aligned).
+/// Runs both executors of an assignment (a plain [`FormatRef`] converts
+/// into a uniform one) over `inputs` and returns the divergence report.
+/// Batches run serially (the comparison needs the two passes' site-visit
+/// orders aligned). Mixed assignments diff each site under its own
+/// resolved format.
 ///
 /// # Panics
 ///
@@ -171,15 +175,16 @@ impl Tap for CompareTap<'_> {
 #[must_use]
 pub fn coverify(
     model: &Model,
-    fmt: FormatRef,
+    assign: impl Into<FormatAssignment>,
     cal: &Calibration,
     inputs: &Tensor,
     batch: usize,
 ) -> DivergenceReport {
+    let assign = assign.into();
     let _span = mersit_obs::span("ptq.coverify");
     assert!(batch > 0, "batch size must be positive");
-    let float_plan = QuantPlan::build_with(model, fmt.clone(), cal, Executor::Float);
-    let bt_plan = QuantPlan::build_with(model, fmt, cal, Executor::BitTrue);
+    let float_plan = QuantPlan::build_with(model, assign.clone(), cal, Executor::Float);
+    let bt_plan = QuantPlan::build_with(model, assign, cal, Executor::BitTrue);
     let n = inputs.shape()[0];
     let mut aggs = vec![SiteAgg::default(); float_plan.sites.len()];
     let mut logits_max_abs = 0.0f64;
@@ -189,12 +194,12 @@ pub fn coverify(
         let hi = (i + batch).min(n);
         let x = inputs.slice_outer(i, hi);
         let x = match float_plan.input_scale {
-            Some(s) => quantize_tensor(float_plan.fmt.as_ref(), &x, s),
+            Some(s) => quantize_tensor(float_plan.input_fmt.as_ref(), &x, s),
             None => x,
         };
 
         let mut rec = RecordTap {
-            fmt: float_plan.fmt.as_ref(),
+            fmts: &float_plan.site_fmts,
             scales: &float_plan.scales,
             recorded: Vec::new(),
         };
@@ -204,7 +209,7 @@ pub fn coverify(
         let recorded = rec.recorded;
 
         let mut cmp = CompareTap {
-            fmt: bt_plan.fmt.as_ref(),
+            fmts: &bt_plan.site_fmts,
             scales: &bt_plan.scales,
             recorded: &recorded,
             next: 0,
@@ -245,7 +250,7 @@ pub fn coverify(
         .collect();
     DivergenceReport {
         model: model.name.clone(),
-        format: float_plan.fmt.name(),
+        format: float_plan.assignment().name(),
         samples: n,
         sites,
         logits_max_abs,

@@ -43,8 +43,9 @@
 //! Instrumentation observes only — the quantized values are bit-identical
 //! with the toggle on or off.
 
+use crate::assign::FormatAssignment;
 use crate::bittrue::{Executor, QuantGemm};
-use crate::calibrate::Calibration;
+use crate::calibrate::{Calibration, INPUT_PATH};
 use crate::quantizer::{quantize_per_channel, quantize_tensor, scale_anchor, site_scale};
 use mersit_core::{Format, FormatRef};
 use mersit_nn::{argmax_rows, Ctx, InputKind, Layer, Model, PlanWeight, Site, SiteTable, Tap};
@@ -204,34 +205,47 @@ pub fn evaluate_format(
     preds
 }
 
-/// A compiled, immutable evaluation plan for one (model, format) pair:
-/// plan-owned quantized weight slots (rank-≥2, in parameter-visit order)
-/// plus dense per-site activation scales. GEMM-rhs weights (Linear /
-/// im2col Conv2d) are additionally pre-packed into cache-blocked panels
-/// at build time — once per format, not once per sample. Building the
-/// plan never mutates the model, and [`QuantPlan::predict`] needs only
-/// `&` access — so plans for different formats run concurrently over one
+/// A compiled, immutable evaluation plan for one (model, assignment)
+/// pair: plan-owned quantized weight slots (rank-≥2, in parameter-visit
+/// order) plus dense per-site activation scales — each weight and site
+/// quantized through the format its path resolves to under the plan's
+/// [`FormatAssignment`] (a uniform assignment reproduces the historical
+/// single-format plan bit for bit). GEMM-rhs weights (Linear / im2col
+/// Conv2d) are additionally pre-packed into cache-blocked panels at build
+/// time — once per assignment, not once per sample. Building the plan
+/// never mutates the model, and [`QuantPlan::predict`] needs only `&`
+/// access — so plans for different assignments run concurrently over one
 /// model, and batch shards run concurrently inside one plan.
 #[derive(Debug)]
 pub struct QuantPlan {
-    pub(crate) fmt: FormatRef,
+    pub(crate) assign: FormatAssignment,
     pub(crate) weights: Vec<PlanWeight>,
+    /// Per-site resolved formats, in [`SiteTable`] id order.
+    pub(crate) site_fmts: Vec<FormatRef>,
     pub(crate) scales: Vec<Option<f64>>,
     pub(crate) sites: SiteTable,
+    /// The format the network input quantizes through
+    /// ([`crate::INPUT_PATH`] resolution).
+    pub(crate) input_fmt: FormatRef,
     pub(crate) input_scale: Option<f64>,
     executor: Executor,
 }
 
 /// The plan's tap: same numerics as [`QuantTap`], borrowing the plan's
-/// precompiled scales.
+/// precompiled per-site formats and scales.
 struct PlanTap<'a> {
-    fmt: &'a dyn Format,
+    fmts: &'a [FormatRef],
     scales: &'a [Option<f64>],
 }
 
 impl Tap for PlanTap<'_> {
     fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
-        quantize_site(self.fmt, self.scales, site, t)
+        if let Some(f) = self.fmts.get(site.id.index()) {
+            quantize_site(f.as_ref(), self.scales, site, t)
+        } else {
+            mersit_obs::incr("ptq.layer.unseen_sites");
+            t
+        }
     }
 }
 
@@ -239,31 +253,39 @@ impl QuantPlan {
     /// Compiles the plan with the default [`Executor::Float`] engine:
     /// per-channel-quantizes every rank-≥2 parameter into plan-owned
     /// tensors and precomputes the per-site activation scales. The model
-    /// is only read.
+    /// is only read. Accepts a plain [`FormatRef`] (uniform assignment)
+    /// or a full [`FormatAssignment`].
     #[must_use]
-    pub fn build(model: &Model, fmt: FormatRef, cal: &Calibration) -> Self {
-        Self::build_with(model, fmt, cal, Executor::Float)
+    pub fn build(model: &Model, assign: impl Into<FormatAssignment>, cal: &Calibration) -> Self {
+        Self::build_with(model, assign, cal, Executor::Float)
     }
 
-    /// Compiles the plan for a chosen execution engine. With
-    /// [`Executor::BitTrue`], every GEMM-rhs rank-2 weight additionally
-    /// gets a [`QuantGemm`] engine built from the **original FP32**
-    /// weights (same per-channel scales as the fake-quantized tensor, so
-    /// the code matrix corresponds element for element) — Linear and
-    /// im2col Conv2d forwards then multiply raw codes with exact Kulisch
-    /// accumulation instead of running the float GEMM.
+    /// Compiles the plan for a chosen execution engine. Every weight and
+    /// activation site quantizes through the format its path resolves to
+    /// under the assignment (`FormatRef` arguments convert into uniform
+    /// assignments, preserving the historical single-format behavior bit
+    /// for bit). With [`Executor::BitTrue`], every GEMM-rhs rank-2 weight
+    /// additionally gets a [`QuantGemm`] engine built from the **original
+    /// FP32** weights under **that layer's** format (same per-channel
+    /// scales as the fake-quantized tensor, so the code matrix corresponds
+    /// element for element — and each layer's codes, row scales and
+    /// `FixTable` follow its own format) — Linear and im2col Conv2d
+    /// forwards then multiply raw codes with exact Kulisch accumulation
+    /// instead of running the float GEMM.
     #[must_use]
     pub fn build_with(
         model: &Model,
-        fmt: FormatRef,
+        assign: impl Into<FormatAssignment>,
         cal: &Calibration,
         executor: Executor,
     ) -> Self {
+        let assign = assign.into();
         let _span = mersit_obs::span("ptq.plan.build");
         let mut weights = Vec::new();
-        model.net.visit_params_ref("", &mut |_, p| {
+        model.net.visit_params_ref("", &mut |path, p| {
             if p.value.shape().len() >= 2 {
                 mersit_obs::incr("ptq.weights.tensors");
+                let fmt = assign.format_for(path);
                 let q = quantize_per_channel(fmt.as_ref(), &p.value);
                 weights.push(if p.gemm_rhs && q.shape().len() == 2 {
                     if executor == Executor::BitTrue {
@@ -278,27 +300,46 @@ impl QuantPlan {
                 });
             }
         });
-        let anchor = scale_anchor(fmt.as_ref());
+        let sites = cal.sites().clone();
+        let site_fmts: Vec<FormatRef> = sites
+            .iter()
+            .map(|(_, path)| assign.format_for(path).clone())
+            .collect();
         let scales = cal
             .site_maxima()
             .iter()
-            .map(|&m| site_scale(anchor, m))
+            .zip(&site_fmts)
+            .map(|(&m, f)| site_scale(scale_anchor(f.as_ref()), m))
             .collect();
-        let input_scale = input_scale(model, fmt.as_ref(), cal);
+        let input_fmt = assign.format_for(INPUT_PATH).clone();
+        let input_scale = if model.input == InputKind::Image {
+            site_scale(scale_anchor(input_fmt.as_ref()), cal.input_max())
+        } else {
+            None
+        };
         Self {
-            fmt,
+            assign,
             weights,
+            site_fmts,
             scales,
-            sites: cal.sites().clone(),
+            sites,
+            input_fmt,
             input_scale,
             executor,
         }
     }
 
-    /// The format this plan quantizes through.
+    /// The assignment's default format (the only format of a uniform
+    /// plan). See [`QuantPlan::assignment`] for the full per-layer map.
     #[must_use]
     pub fn format(&self) -> &dyn Format {
-        self.fmt.as_ref()
+        self.assign.default_format().as_ref()
+    }
+
+    /// The per-layer format assignment this plan quantizes through.
+    #[must_use]
+    pub fn assignment(&self) -> &FormatAssignment {
+        &self.assign
     }
 
     /// The execution engine the plan was compiled for.
@@ -317,11 +358,11 @@ impl QuantPlan {
     /// shared-reference forward with weight overrides and the plan tap.
     fn predict_batch(&self, model: &Model, x: Tensor) -> Vec<usize> {
         let x = match self.input_scale {
-            Some(s) => quantize_tensor(self.fmt.as_ref(), &x, s),
+            Some(s) => quantize_tensor(self.input_fmt.as_ref(), &x, s),
             None => x,
         };
         let mut tap = PlanTap {
-            fmt: self.fmt.as_ref(),
+            fmts: &self.site_fmts,
             scales: &self.scales,
         };
         let mut ctx = Ctx::compiled(&self.sites, &mut tap).with_overrides(&self.weights);

@@ -41,6 +41,7 @@
 )]
 
 pub mod accuracy;
+pub mod assign;
 pub mod bittrue;
 pub mod calibrate;
 pub mod coverify;
@@ -49,14 +50,22 @@ pub mod other_formats;
 pub mod quantizer;
 pub mod rmse;
 
-pub use accuracy::{evaluate_model, render_table, EvalRow, FormatScore, Metric};
+pub use accuracy::{
+    evaluate_assignments, evaluate_model, render_table, EvalRow, FormatScore, Metric,
+};
+pub use assign::{
+    assignment_score, greedy_search, layer_macs, layer_sensitivity, pareto_front, FormatAssignment,
+    LayerMacs, LayerSensitivity, ParetoPoint, SearchConfig,
+};
 pub use bittrue::{dot_bit_true, Executor, QuantGemm, WideAcc};
 pub use calibrate::{calibrate, Calibration, INPUT_PATH};
 pub use coverify::{coverify, DivergenceReport, SiteDivergence};
 pub use executor::{
     evaluate_format, predict_quantized, quantize_weights, QuantPlan, QuantTap, WeightSnapshot,
 };
-pub use other_formats::{quantize_adaptivfloat, quantize_bfp};
+pub use other_formats::{
+    quantize_adaptivfloat, quantize_bfp, quantize_weights_alt, AltAssignment, AltQuant, AltTap,
+};
 pub use quantizer::{
     channel_max_abs, quantize_per_channel, quantize_slice, quantize_tensor, relative_rmse,
     scale_anchor, scale_for, site_scale,

@@ -5,7 +5,14 @@
 //! scaling is applied, "eliminating the need for a separate comparison".
 //! This module implements both so that claim can be *measured* (see the
 //! `other_formats` bench binary) instead of assumed.
+//!
+//! Like the main pipeline's [`crate::FormatAssignment`], the §2.1
+//! quantizers are per-layer assignable: [`AltAssignment`] maps layer
+//! paths to an [`AltQuant`] choice (or FP32 pass-through) with the same
+//! longest-dotted-prefix resolution, and [`AltTap`] /
+//! [`quantize_weights_alt`] apply it to activations and weights.
 
+use mersit_nn::{Layer, Model, Site, Tap};
 use mersit_tensor::Tensor;
 
 /// AdaptivFloat quantization: sign + `exp_bits` exponent + `frac_bits`
@@ -85,11 +92,193 @@ pub fn quantize_bfp(t: &Tensor, mant_bits: u32, group: usize) -> Tensor {
     out
 }
 
+/// One §2.1 alternative quantizer with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AltQuant {
+    /// AdaptivFloat with `exp_bits` exponent and `frac_bits` fraction
+    /// bits (see [`quantize_adaptivfloat`]).
+    AdaptivFloat {
+        /// Exponent field width.
+        exp_bits: u32,
+        /// Fraction field width.
+        frac_bits: u32,
+    },
+    /// Block floating point with `mant_bits`-bit mantissas over groups of
+    /// `group` elements (see [`quantize_bfp`]).
+    Bfp {
+        /// Signed mantissa width.
+        mant_bits: u32,
+        /// Elements sharing one exponent.
+        group: usize,
+    },
+}
+
+impl AltQuant {
+    /// Applies the quantizer tensor-wide (per-layer scaling).
+    #[must_use]
+    pub fn apply(&self, t: &Tensor) -> Tensor {
+        match *self {
+            AltQuant::AdaptivFloat {
+                exp_bits,
+                frac_bits,
+            } => quantize_adaptivfloat(t, exp_bits, frac_bits),
+            AltQuant::Bfp { mant_bits, group } => quantize_bfp(t, mant_bits, group),
+        }
+    }
+
+    /// Applies the quantizer per output channel (outermost dimension) —
+    /// the weight path, matching the main pipeline's per-channel scales.
+    /// BFP already groups internally, so it applies tensor-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 tensors.
+    #[must_use]
+    pub fn apply_per_channel(&self, t: &Tensor) -> Tensor {
+        match *self {
+            AltQuant::AdaptivFloat { .. } => {
+                let oc = t.shape()[0];
+                let inner: usize = t.shape()[1..].iter().product();
+                let mut out = t.clone();
+                for c in 0..oc {
+                    let slice =
+                        Tensor::from_vec(t.data()[c * inner..(c + 1) * inner].to_vec(), &[inner]);
+                    let q = self.apply(&slice);
+                    out.data_mut()[c * inner..(c + 1) * inner].copy_from_slice(q.data());
+                }
+                out
+            }
+            AltQuant::Bfp { .. } => self.apply(t),
+        }
+    }
+}
+
+/// A per-layer map over the §2.1 quantizers, mirroring
+/// [`crate::FormatAssignment`]: every layer uses `default` unless an
+/// override's path is a dotted prefix (`None` = leave that layer FP32).
+#[derive(Debug, Clone)]
+pub struct AltAssignment {
+    default: AltQuant,
+    overrides: Vec<(String, Option<AltQuant>)>,
+}
+
+impl AltAssignment {
+    /// Every layer quantizes through `default`.
+    #[must_use]
+    pub fn uniform(default: AltQuant) -> Self {
+        Self {
+            default,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides a layer (or parameter) path to `alt` — `None` leaves it
+    /// in FP32. Replaces any previous override for the same path.
+    #[must_use]
+    pub fn with_override(mut self, path: impl Into<String>, alt: Option<AltQuant>) -> Self {
+        let path = path.into();
+        self.overrides.retain(|(p, _)| *p != path);
+        self.overrides.push((path, alt));
+        self.overrides.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// Resolves the quantizer for a path: longest dotted-prefix override
+    /// wins, otherwise the default. `None` = pass through in FP32.
+    #[must_use]
+    pub fn alt_for(&self, path: &str) -> Option<AltQuant> {
+        let mut best: Option<&(String, Option<AltQuant>)> = None;
+        for ov in &self.overrides {
+            let (p, _) = ov;
+            let is_prefix = path == p
+                || (path.len() > p.len()
+                    && path.starts_with(p.as_str())
+                    && path.as_bytes()[p.len()] == b'.');
+            if is_prefix && best.is_none_or(|(bp, _)| p.len() > bp.len()) {
+                best = Some(ov);
+            }
+        }
+        best.map_or(Some(self.default), |(_, a)| *a)
+    }
+}
+
+/// An activation tap applying an [`AltAssignment`] at every site.
+#[derive(Debug, Clone)]
+pub struct AltTap {
+    assign: AltAssignment,
+}
+
+impl AltTap {
+    /// Tap over the given assignment.
+    #[must_use]
+    pub fn new(assign: AltAssignment) -> Self {
+        Self { assign }
+    }
+}
+
+impl Tap for AltTap {
+    fn activation(&mut self, site: Site<'_>, t: Tensor) -> Tensor {
+        match self.assign.alt_for(site.path) {
+            Some(alt) => alt.apply(&t),
+            None => t,
+        }
+    }
+}
+
+/// Quantizes every rank-≥2 parameter in place through the assignment's
+/// per-layer quantizer choice (per output channel, like the main
+/// pipeline); rank-1 parameters and `None`-assigned layers stay FP32.
+/// Snapshot/restore with [`crate::WeightSnapshot`] around it.
+pub fn quantize_weights_alt(model: &mut Model, assign: &AltAssignment) {
+    model.net.visit_params("", &mut |path, p| {
+        if p.value.shape().len() >= 2 {
+            if let Some(alt) = assign.alt_for(path) {
+                p.value = alt.apply_per_channel(&p.value);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::quantizer::relative_rmse;
     use mersit_tensor::Rng;
+
+    #[test]
+    fn alt_assignment_resolves_like_format_assignment() {
+        let af = AltQuant::AdaptivFloat {
+            exp_bits: 4,
+            frac_bits: 3,
+        };
+        let bfp = AltQuant::Bfp {
+            mant_bits: 7,
+            group: 16,
+        };
+        let a = AltAssignment::uniform(af)
+            .with_override("0_conv", Some(bfp))
+            .with_override("2_linear", None);
+        assert_eq!(a.alt_for("0_conv.w"), Some(bfp));
+        assert_eq!(a.alt_for("0_convx"), Some(af));
+        assert_eq!(a.alt_for("2_linear"), None);
+        assert_eq!(a.alt_for("1_bn"), Some(af));
+    }
+
+    #[test]
+    fn alt_quant_apply_matches_free_functions() {
+        let mut rng = Rng::new(9);
+        let t = Tensor::randn(&[64], 1.0, &mut rng);
+        let af = AltQuant::AdaptivFloat {
+            exp_bits: 4,
+            frac_bits: 3,
+        };
+        assert_eq!(af.apply(&t).data(), quantize_adaptivfloat(&t, 4, 3).data());
+        let bf = AltQuant::Bfp {
+            mant_bits: 7,
+            group: 16,
+        };
+        assert_eq!(bf.apply(&t).data(), quantize_bfp(&t, 7, 16).data());
+    }
 
     #[test]
     fn adaptivfloat_representable_values_fixed() {

@@ -1,19 +1,21 @@
-//! Build-once plan cache: one [`QuantPlan`] per (model, format, executor).
+//! Build-once plan cache: one [`QuantPlan`] per (model, assignment, executor).
 
-use mersit_core::FormatRef;
 use mersit_nn::Model;
-use mersit_ptq::{Calibration, Executor, QuantPlan};
+use mersit_ptq::{Calibration, Executor, FormatAssignment, QuantPlan};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Identity of one compiled plan: model name, canonical format name (as
-/// reported by `Format::name()`, so `"mersit(8,2)"` and `"MERSIT(8,2)"`
-/// collide onto one entry), and execution engine.
+/// Identity of one compiled plan: model name, canonical assignment name
+/// (as reported by [`FormatAssignment::name`] — a plain format name like
+/// `"MERSIT(8,2)"` for uniform plans, so `"mersit(8,2)"` and
+/// `"MERSIT(8,2)"` collide onto one entry; a `"DEFAULT;path=FMT"` spec
+/// for mixed plans), and execution engine.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Model name (e.g. `"vgg_t"`).
     pub model: String,
-    /// Canonical format name (e.g. `"MERSIT(8,2)"`).
+    /// Canonical assignment name (e.g. `"MERSIT(8,2)"`, or a mixed spec
+    /// like `"MERSIT(8,2);head.fc=FP(8,4)"`).
     pub format: String,
     /// Execution engine the plan was compiled for.
     pub executor: Executor,
@@ -55,7 +57,7 @@ impl PlanCache {
         &self,
         key: &PlanKey,
         model: &Model,
-        fmt: &FormatRef,
+        assign: &FormatAssignment,
         cal: &Calibration,
     ) -> Arc<QuantPlan> {
         let mut plans = self.plans.lock().expect("plan cache poisoned");
@@ -65,7 +67,12 @@ impl PlanCache {
         }
         mersit_obs::incr("serve.plan.cache.miss");
         let _span = mersit_obs::span("serve.plan.build");
-        let plan = Arc::new(QuantPlan::build_with(model, fmt.clone(), cal, key.executor));
+        let plan = Arc::new(QuantPlan::build_with(
+            model,
+            assign.clone(),
+            cal,
+            key.executor,
+        ));
         plans.insert(key.clone(), Arc::clone(&plan));
         plan
     }

@@ -3,9 +3,8 @@
 
 use crate::cache::{PlanCache, PlanKey};
 use crate::config::ServeConfig;
-use mersit_core::{parse_format, FormatRef};
 use mersit_nn::{predict_one_batch_ref, Model};
-use mersit_ptq::{Calibration, Executor};
+use mersit_ptq::{Calibration, Executor, FormatAssignment};
 use mersit_tensor::Tensor;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,9 +51,11 @@ impl Request {
         }
     }
 
-    /// Quantize through this format (any `mersit-core` format name, e.g.
-    /// `"MERSIT(8,2)"`, `"Posit(8,1)"`, `"INT8"`). Unset means the FP32
-    /// reference forward — no quantization, executor ignored.
+    /// Quantize through this format — any `mersit-core` format name
+    /// (`"MERSIT(8,2)"`, `"Posit(8,1)"`, `"INT8"`) or a per-layer
+    /// assignment spec (`"MERSIT(8,2);head.fc=FP(8,4)"`, see
+    /// [`FormatAssignment::parse`]). Unset means the FP32 reference
+    /// forward — no quantization, executor ignored.
     #[must_use]
     pub fn format(mut self, fmt: impl Into<String>) -> Self {
         self.format = Some(fmt.into());
@@ -161,9 +162,9 @@ pub struct ServeStats {
 }
 
 /// How requests group into coalescable batches: same model, same
-/// canonical format (None = FP32 reference), same executor, same sample
-/// shape. Only identical keys ever share a forward, so a batch is always
-/// one `cat_outer` away from a valid model input.
+/// canonical assignment name (None = FP32 reference), same executor,
+/// same sample shape. Only identical keys ever share a forward, so a
+/// batch is always one `cat_outer` away from a valid model input.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct GroupKey {
     model: String,
@@ -175,7 +176,7 @@ struct GroupKey {
 /// One admitted request waiting in the queue.
 struct Pending {
     key: GroupKey,
-    fmt: Option<FormatRef>,
+    fmt: Option<FormatAssignment>,
     /// The sample lifted to `[1, ...]`, ready to concatenate.
     input: Tensor,
     enqueued: Instant,
@@ -286,9 +287,9 @@ impl Server {
             return Err(ServeError::UnknownModel(req.model));
         }
         let fmt = match &req.format {
-            Some(name) => {
-                Some(parse_format(name).map_err(|e| ServeError::BadFormat(e.to_string()))?)
-            }
+            Some(spec) => Some(
+                FormatAssignment::parse(spec).map_err(|e| ServeError::BadFormat(e.to_string()))?,
+            ),
             None => None,
         };
         // FP32 reference requests all share one group regardless of the
@@ -299,7 +300,7 @@ impl Server {
         };
         let key = GroupKey {
             model: req.model,
-            format: fmt.as_ref().map(|f| f.name()),
+            format: fmt.as_ref().map(FormatAssignment::name),
             executor,
             shape: req.input.shape().to_vec(),
         };
@@ -393,7 +394,9 @@ fn batcher_loop(shared: &Shared) {
 }
 
 /// Blocks until a batch is ready under the flush policy — the front
-/// request's group reaching `max_batch`, or its deadline
+/// request's group reaching `max_batch`, the group already holding
+/// *every* queued request (waiting longer could not grow the batch, so a
+/// lone request never pays `max_wait_us`), or its deadline
 /// (`enqueued + max_wait_us`) passing, whichever comes first; shutdown
 /// flushes immediately. Returns `None` when shut down and drained.
 fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
@@ -411,7 +414,8 @@ fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
         let deadline = front.enqueued + Duration::from_micros(shared.cfg.max_wait_us);
         let same = st.queue.iter().filter(|p| p.key == key).count();
         let now = Instant::now();
-        if same >= shared.cfg.max_batch || now >= deadline || st.shutdown {
+        if same >= shared.cfg.max_batch || same == st.queue.len() || now >= deadline || st.shutdown
+        {
             return Some(extract_group(&mut st.queue, &key, shared.cfg.max_batch));
         }
         let (guard, _) = shared
@@ -452,7 +456,7 @@ fn flush(shared: &Shared, batch: Vec<Pending>) {
         let parts: Vec<&Tensor> = batch.iter().map(|p| &p.input).collect();
         let x = Tensor::cat_outer(&parts);
         match (&batch[0].fmt, &key.format) {
-            (Some(fmt), Some(canonical)) => {
+            (Some(assign), Some(canonical)) => {
                 let plan_key = PlanKey {
                     model: key.model.clone(),
                     format: canonical.clone(),
@@ -460,7 +464,7 @@ fn flush(shared: &Shared, batch: Vec<Pending>) {
                 };
                 let plan = shared
                     .cache
-                    .get_or_build(&plan_key, &entry.model, fmt, &entry.cal);
+                    .get_or_build(&plan_key, &entry.model, assign, &entry.cal);
                 plan.predict_one_batch(&entry.model, x)
             }
             _ => predict_one_batch_ref(&entry.model.net, x),

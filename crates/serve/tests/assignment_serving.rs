@@ -1,0 +1,104 @@
+//! Serving-layer behavior added with per-layer format assignments:
+//!
+//! * a lone request flushes as soon as the batcher sees its group holds
+//!   the whole queue — it never waits out `max_wait_us`;
+//! * a mixed-assignment spec in [`Request::format`] is a first-class
+//!   plan identity (own cache entry) and serves predictions bit-identical
+//!   to a locally built mixed [`QuantPlan`].
+
+use mersit_nn::layers::{Act, ActKind, Linear, Sequential};
+use mersit_nn::{InputKind, Model};
+use mersit_ptq::{calibrate, Executor, FormatAssignment, QuantPlan};
+use mersit_serve::{Request, ServeConfig, ServeError, Server};
+use mersit_tensor::{Rng, Tensor};
+
+fn two_layer_model(rng: &mut Rng) -> (Model, Tensor) {
+    let mut net = Sequential::new();
+    net.push(Linear::new(12, 16, rng));
+    net.push(Act::new(ActKind::Relu));
+    net.push(Linear::new(16, 4, rng));
+    let model = Model {
+        name: "mlp".into(),
+        net,
+        input: InputKind::Image,
+    };
+    let x = Tensor::randn(&[9, 12], 1.0, rng);
+    (model, x)
+}
+
+fn sample(x: &Tensor, i: usize) -> Tensor {
+    let s = x.slice_outer(i, i + 1);
+    Tensor::from_vec(s.data().to_vec(), &x.shape()[1..])
+}
+
+/// A lone request must not pay the full latency budget: with a huge
+/// `max_wait_us` the whole-queue fast flush answers in milliseconds.
+#[test]
+fn lone_request_flushes_without_waiting_out_the_deadline() {
+    let mut rng = Rng::new(0x0001_704E);
+    let (model, x) = two_layer_model(&mut rng);
+    let cal = calibrate(&model, &x, 4);
+    let cfg = ServeConfig::default()
+        .max_batch(64)
+        .max_wait_us(30_000_000) // 30 s: the old policy would sit here
+        .queue_depth(8);
+    let server = Server::start(vec![(model, cal)], cfg);
+    let resp = server
+        .infer(Request::new("mlp", sample(&x, 0)).format("MERSIT(8,2)"))
+        .expect("served");
+    assert_eq!(resp.batch_size, 1);
+    assert!(
+        resp.total_us < 5_000_000,
+        "lone request waited {} µs — fast flush is broken",
+        resp.total_us
+    );
+}
+
+/// Mixed-assignment requests: own plan-cache entry, bit-identical to a
+/// locally built mixed plan, and bad specs rejected at admission.
+#[test]
+fn assignment_spec_requests_get_their_own_plan() {
+    let mut rng = Rng::new(0xA551);
+    let (model, x) = two_layer_model(&mut rng);
+    let cal = calibrate(&model, &x, 4);
+    let spec = "MERSIT(8,2);2_linear=FP(8,4)";
+
+    // Local references for both plan identities.
+    let uniform = FormatAssignment::parse("MERSIT(8,2)").unwrap();
+    let mixed = FormatAssignment::parse(spec).unwrap();
+    assert!(!mixed.is_uniform());
+    let uni_plan = QuantPlan::build_with(&model, uniform, &cal, Executor::BitTrue);
+    let mix_plan = QuantPlan::build_with(&model, mixed, &cal, Executor::BitTrue);
+    let uni_ref = uni_plan.predict(&model, &x, 1);
+    let mix_ref = mix_plan.predict(&model, &x, 1);
+
+    let name = model.name.clone();
+    let server = Server::start(vec![(model, cal)], ServeConfig::default());
+    let n = x.shape()[0];
+    for i in 0..n {
+        let resp = server
+            .infer(
+                Request::new(&name, sample(&x, i))
+                    .format("MERSIT(8,2)")
+                    .executor(Executor::BitTrue),
+            )
+            .expect("uniform served");
+        assert_eq!(resp.prediction, uni_ref[i], "uniform sample {i}");
+        let resp = server
+            .infer(
+                Request::new(&name, sample(&x, i))
+                    .format(spec)
+                    .executor(Executor::BitTrue),
+            )
+            .expect("mixed served");
+        assert_eq!(resp.prediction, mix_ref[i], "mixed sample {i}");
+    }
+    // Uniform and mixed compiled into distinct cached plans.
+    assert_eq!(server.stats().cached_plans, 2);
+
+    // A spec with a bad override format never occupies a queue slot.
+    match server.submit(Request::new(&name, sample(&x, 0)).format("MERSIT(8,2);x=GHOST(8,1)")) {
+        Err(ServeError::BadFormat(_)) => {}
+        other => panic!("expected BadFormat, got {other:?}"),
+    }
+}

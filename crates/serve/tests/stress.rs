@@ -31,19 +31,47 @@ fn one_sample(rng: &mut Rng) -> Tensor {
 fn backpressure_validation_and_graceful_shutdown() {
     let mut rng = Rng::new(0x57E55);
 
-    // --- Queue-full rejection: a deep batcher wait keeps requests queued.
+    // --- Queue-full rejection under backpressure. The batcher flushes a
+    // group immediately once it holds the whole queue, so to keep
+    // requests queued we first park the batcher on a slow warm-up flush
+    // (big bit-true plan build), then split the backlog across two
+    // format keys — neither group covers the queue, so both wait out the
+    // (long) deadline.
     {
         let (model, x) = toy_model(&mut rng);
         let cal = calibrate(&model, &x, 4);
+        let mut slow_net = Sequential::new();
+        slow_net.push(Linear::new(256, 256, &mut rng));
+        let slow = Model {
+            name: "slow".into(),
+            net: slow_net,
+            input: InputKind::Image,
+        };
+        let slow_x = Tensor::randn(&[4, 256], 1.0, &mut rng);
+        let slow_cal = calibrate(&slow, &slow_x, 4);
         let cfg = ServeConfig::default()
             .max_batch(64) // never flush on size...
             .max_wait_us(300_000) // ...and not on time within this test
             .queue_depth(4);
-        let mut server = Server::start(vec![(model, cal)], cfg);
+        let mut server = Server::start(vec![(model, cal), (slow, slow_cal)], cfg);
+        let warmup = server
+            .submit(
+                Request::new("slow", Tensor::randn(&[256], 1.0, &mut rng))
+                    .format("Posit(8,3)")
+                    .executor(mersit_ptq::Executor::BitTrue),
+            )
+            .expect("warm-up admitted");
+        // Wait until the batcher has pulled the warm-up out of the queue
+        // and entered its flush (the batches counter bumps at flush
+        // start); everything submitted from here queues behind it.
+        while server.stats().batches < 1 {
+            std::thread::yield_now();
+        }
         let tickets: Vec<_> = (0..4)
-            .map(|_| {
+            .map(|i| {
+                let fmt = if i % 2 == 0 { "INT8" } else { "Posit(8,1)" };
                 server
-                    .submit(Request::new("toy", one_sample(&mut rng)).format("INT8"))
+                    .submit(Request::new("toy", one_sample(&mut rng)).format(fmt))
                     .expect("within queue depth")
             })
             .collect();
@@ -52,20 +80,22 @@ fn backpressure_validation_and_graceful_shutdown() {
             Err(ServeError::QueueFull { depth: 4 }) => {}
             other => panic!("expected QueueFull, got {other:?}"),
         }
-        // Graceful shutdown with 4 requests still queued: all answered.
+        // Graceful shutdown with 4 requests still queued: all answered,
+        // one batch per format key.
         server.shutdown();
+        assert_eq!(warmup.wait().expect("warm-up served").batch_size, 1);
         let mut sizes = Vec::new();
         for t in tickets {
             let resp = t.wait().expect("drained on shutdown");
             sizes.push(resp.batch_size);
         }
         assert!(
-            sizes.iter().all(|&s| s == 4),
-            "drain batched all 4: {sizes:?}"
+            sizes.iter().all(|&s| s == 2),
+            "drain batched each key's pair: {sizes:?}"
         );
         let stats = server.stats();
-        assert_eq!(stats.submitted, 4);
-        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 5);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.failed, 0);
         // Post-shutdown submissions are refused, not dropped.
