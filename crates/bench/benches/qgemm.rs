@@ -1,0 +1,88 @@
+//! Criterion benches for the bit-true integer GEMM hot path: the serial
+//! i-k-j reference against the packed i128-accumulating kernel, forced
+//! to the scalar tier and at the host's detected SIMD tier, over the
+//! same model-zoo shapes as the f32 `gemm` bench. Code magnitudes are
+//! capped at 2^22 — the fixed-point range real Table 2 tables produce —
+//! so the vector tile's 31-bit operand gate is satisfied and the SIMD
+//! leg actually exercises the widening tile.
+//!
+//! The `packed_*` legs re-pack the rhs every iteration (the
+//! `Tensor`-style cost model); the `amortized_simd` leg packs once,
+//! which is the `QuantPlan` weight-panel cost model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mersit_tensor::qgemm::{qgemm_naive_rows, qgemm_rows_with_level, PackedCodeRhs};
+use mersit_tensor::simd::{detected_level, SimdLevel};
+use mersit_tensor::Rng;
+use std::hint::black_box;
+
+/// (label, m, k, n) — im2col rows × patch × out-channels plus the
+/// classifier / logits linears at bench model sizes.
+const SHAPES: [(&str, usize, usize, usize); 5] = [
+    ("square_256", 256, 256, 256),
+    ("vgg_conv3x3", 2400, 144, 32),
+    ("mnv3_conv1x1", 1200, 24, 64),
+    ("vgg_classifier", 96, 128, 64),
+    ("logits_skinny", 96, 64, 10),
+];
+
+/// Signed codes spanning the fixed-point range real format tables
+/// produce (~2^22 for MERSIT(8,2)).
+fn random_codes(rng: &mut Rng, len: usize) -> Vec<i64> {
+    (0..len)
+        .map(|_| {
+            let mag = (rng.next_u64() % (1u64 << 22)) as i64;
+            if rng.next_u64() & 1 == 0 {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect()
+}
+
+fn bench_qgemm(c: &mut Criterion) {
+    let simd = detected_level();
+    for (label, m, k, n) in SHAPES {
+        let mut rng = Rng::new(0x51E0 ^ (m * 31 + k * 7 + n) as u64);
+        let a = random_codes(&mut rng, m * k);
+        let b = random_codes(&mut rng, k * n);
+        let mut g = c.benchmark_group(format!("qgemm_{label}"));
+        g.throughput(Throughput::Elements((m * n * k) as u64));
+        g.bench_function(BenchmarkId::from_parameter("naive"), |bch| {
+            let mut out = vec![0i128; m * n];
+            bch.iter(|| {
+                out.fill(0);
+                qgemm_naive_rows(black_box(&a), k, black_box(&b), n, black_box(&mut out));
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("packed_scalar"), |bch| {
+            let mut out = vec![0i128; m * n];
+            bch.iter(|| {
+                out.fill(0);
+                let p = PackedCodeRhs::pack(black_box(&b), k, n);
+                qgemm_rows_with_level(SimdLevel::Scalar, black_box(&a), k, &p, black_box(&mut out));
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("packed_simd"), |bch| {
+            let mut out = vec![0i128; m * n];
+            bch.iter(|| {
+                out.fill(0);
+                let p = PackedCodeRhs::pack(black_box(&b), k, n);
+                qgemm_rows_with_level(simd, black_box(&a), k, &p, black_box(&mut out));
+            });
+        });
+        g.bench_function(BenchmarkId::from_parameter("amortized_simd"), |bch| {
+            let p = PackedCodeRhs::pack(&b, k, n);
+            let mut out = vec![0i128; m * n];
+            bch.iter(|| {
+                out.fill(0);
+                qgemm_rows_with_level(simd, black_box(&a), k, black_box(&p), black_box(&mut out));
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_qgemm);
+criterion_main!(benches);

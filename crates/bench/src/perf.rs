@@ -30,7 +30,7 @@ use mersit_core::{quantize_slice_scalar, table2_formats, Format, FormatRef, Quan
 use mersit_nn::models::{mobilenet_v3_t, vgg_t};
 use mersit_nn::Model;
 use mersit_ptq::{calibrate, evaluate_format, QuantPlan};
-use mersit_tensor::{gemm, par, Rng, Tensor};
+use mersit_tensor::{gemm, par, qgemm, Rng, Tensor};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -351,6 +351,132 @@ pub fn run_gemm_bench() -> Vec<GemmRow> {
     rows
 }
 
+/// One integer-matmul shape's measured throughput: the serial i-k-j
+/// reference against the packed tiling at the scalar tier and at the
+/// process-selected SIMD tier.
+#[derive(Debug, Clone)]
+pub struct QgemmRow {
+    /// Shape label (where the dims come from in the model zoo).
+    pub shape: String,
+    /// Output rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Serial i-k-j reference kernel, mega-MACs/s (m·n·k MACs).
+    pub naive_mmacs: f64,
+    /// Packed kernel forced to the scalar tier, mega-MACs/s.
+    pub packed_scalar_mmacs: f64,
+    /// Packed kernel at the process-selected SIMD tier, mega-MACs/s.
+    pub packed_simd_mmacs: f64,
+    /// `packed_simd / packed_scalar` — the vector-tile win alone.
+    pub simd_speedup: f64,
+}
+
+/// Single-thread bit-true integer GEMM throughput: the serial i-k-j
+/// reference against the packed i128-accumulating kernel, at the scalar
+/// tier and at the process-selected SIMD tier (same shape grid as
+/// [`run_gemm_bench`], code magnitudes typical of Table 2 fixed-point
+/// tables). All three outputs are asserted exactly equal first —
+/// integer addition is associative, so equality is bitwise.
+#[must_use]
+pub fn run_qgemm_bench() -> Vec<QgemmRow> {
+    let _span = mersit_obs::span("bench.qgemm");
+    let shapes: [(&str, usize, usize, usize); 5] = [
+        ("square_256", 256, 256, 256),
+        ("vgg_conv3x3", 2400, 144, 32),
+        ("mnv3_conv1x1", 1200, 24, 64),
+        ("vgg_classifier", 96, 128, 64),
+        ("logits_skinny", 96, 64, 10),
+    ];
+    let simd = mersit_core::simd_level();
+    let scalar = mersit_core::SimdLevel::Scalar;
+    let reps = 5;
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>12} {:>12} {:>12} {:>8}  (isa {})",
+        "qgemm shape", "m", "k", "n", "naive MM/s", "scalar MM/s", "simd MM/s", "speedup", simd
+    );
+    let mut rows = Vec::new();
+    for (label, m, k, n) in shapes {
+        let mut rng = Rng::new(0x51E0 ^ (m * 31 + k * 7 + n) as u64);
+        // Signed codes spanning the fixed-point range real format tables
+        // produce (~2^22 for MERSIT(8,2)).
+        let mut code = |len: usize| -> Vec<i64> {
+            (0..len)
+                .map(|_| {
+                    let mag = (rng.next_u64() % (1u64 << 22)) as i64;
+                    if rng.next_u64() & 1 == 0 {
+                        mag
+                    } else {
+                        -mag
+                    }
+                })
+                .collect()
+        };
+        let a = code(m * k);
+        let b = code(k * n);
+        let macs = (m * n * k) as f64;
+
+        let mut naive_out = vec![0i128; m * n];
+        qgemm::qgemm_naive_rows(&a, k, &b, n, &mut naive_out);
+        let packed = qgemm::PackedCodeRhs::pack(&b, k, n);
+        for level in [scalar, simd] {
+            let mut got = vec![0i128; m * n];
+            qgemm::qgemm_rows_with_level(level, &a, k, &packed, &mut got);
+            assert_eq!(
+                got, naive_out,
+                "qgemm kernels diverged on {label} ({level})"
+            );
+        }
+
+        let inner = ((2e8 / macs).ceil() as usize).clamp(1, 10_000);
+        let mut out = vec![0i128; m * n];
+        let mut best = |f: &mut dyn FnMut(&mut [i128])| -> f64 {
+            let mut rate = 0.0f64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    out.fill(0);
+                    f(black_box(&mut out));
+                }
+                rate = rate.max(macs * inner as f64 / t0.elapsed().as_secs_f64());
+            }
+            rate
+        };
+        let naive_best =
+            best(&mut |o| qgemm::qgemm_naive_rows(black_box(&a), k, black_box(&b), n, o));
+        let scalar_best =
+            best(&mut |o| qgemm::qgemm_rows_with_level(scalar, black_box(&a), k, &packed, o));
+        let simd_best =
+            best(&mut |o| qgemm::qgemm_rows_with_level(simd, black_box(&a), k, &packed, o));
+        black_box(&out);
+        let row = QgemmRow {
+            shape: label.to_owned(),
+            m,
+            k,
+            n,
+            naive_mmacs: naive_best / 1e6,
+            packed_scalar_mmacs: scalar_best / 1e6,
+            packed_simd_mmacs: simd_best / 1e6,
+            simd_speedup: simd_best / scalar_best,
+        };
+        println!(
+            "{:<16} {:>5} {:>5} {:>5} {:>12.1} {:>12.1} {:>12.1} {:>7.2}x",
+            row.shape,
+            m,
+            k,
+            n,
+            row.naive_mmacs,
+            row.packed_scalar_mmacs,
+            row.packed_simd_mmacs,
+            row.simd_speedup
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 /// One full measurement pass: quantization throughput rows, GEMM
 /// throughput rows, and the serial-vs-parallel sweep wall-clocks.
 #[derive(Debug, Clone)]
@@ -359,6 +485,8 @@ pub struct PerfReport {
     pub formats: Vec<PerfRow>,
     /// Matmul throughput rows.
     pub gemm: Vec<GemmRow>,
+    /// Bit-true integer matmul throughput rows.
+    pub qgemm: Vec<QgemmRow>,
     /// The PTQ sweep serial-vs-parallel comparison.
     pub sweep: SweepBench,
 }
@@ -385,7 +513,10 @@ pub fn measure_perf_ptq(n: usize, quick: bool) -> PerfReport {
     mersit_obs::add("bench.perf.elements", n as u64);
     mersit_obs::add("bench.perf.threads", threads as u64);
 
-    println!("perf_ptq: {n} elements, {threads} threads, scale {scale}");
+    println!(
+        "perf_ptq: {n} elements, {threads} threads, scale {scale}, simd {}",
+        mersit_core::simd_level()
+    );
     println!(
         "{:<14} {:>14} {:>14} {:>14} {:>8} {:>10}",
         "format", "scalar el/s", "lut el/s", "lut+thr el/s", "lut x", "thr x"
@@ -430,10 +561,12 @@ pub fn measure_perf_ptq(n: usize, quick: bool) -> PerfReport {
     }
 
     let gemm = run_gemm_bench();
+    let qgemm = run_qgemm_bench();
     let sweep = run_sweep_bench(quick);
     PerfReport {
         formats: rows,
         gemm,
+        qgemm,
         sweep,
     }
 }
@@ -494,6 +627,24 @@ pub fn aggregate_reports(reports: &[PerfReport]) -> PerfReport {
             }
         })
         .collect();
+    let qgemm = (0..first.qgemm.len())
+        .map(|i| {
+            let qs: Vec<&QgemmRow> = reports.iter().map(|r| &r.qgemm[i]).collect();
+            let naive = median(qs.iter().map(|q| q.naive_mmacs).collect());
+            let scalar = median(qs.iter().map(|q| q.packed_scalar_mmacs).collect());
+            let simd = median(qs.iter().map(|q| q.packed_simd_mmacs).collect());
+            QgemmRow {
+                shape: qs[0].shape.clone(),
+                m: qs[0].m,
+                k: qs[0].k,
+                n: qs[0].n,
+                naive_mmacs: naive,
+                packed_scalar_mmacs: scalar,
+                packed_simd_mmacs: simd,
+                simd_speedup: simd / scalar,
+            }
+        })
+        .collect();
     let serial = minimum(
         reports
             .iter()
@@ -531,6 +682,7 @@ pub fn aggregate_reports(reports: &[PerfReport]) -> PerfReport {
     PerfReport {
         formats,
         gemm,
+        qgemm,
         sweep,
     }
 }
@@ -548,6 +700,7 @@ pub fn write_bench_json(report: &PerfReport, n: usize, scale: f64, repeats: usiz
     let _ = writeln!(json, "  \"threads\": {},", sweep.threads);
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"simd_isa\": \"{}\",", mersit_core::simd_level());
     json.push_str("  \"formats\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -574,6 +727,29 @@ pub fn write_bench_json(report: &PerfReport, n: usize, scale: f64, repeats: usiz
             g.shape, g.m, g.k, g.n, g.naive_mflops, g.packed_mflops, g.speedup
         );
         json.push_str(if i + 1 < report.gemm.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"qgemm\": [\n");
+    for (i, q) in report.qgemm.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"shape\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"naive_mmacs\": {:.1}, \"packed_scalar_mmacs\": {:.1}, \
+             \"packed_simd_mmacs\": {:.1}, \"simd_speedup\": {:.2}}}",
+            q.shape,
+            q.m,
+            q.k,
+            q.n,
+            q.naive_mmacs,
+            q.packed_scalar_mmacs,
+            q.packed_simd_mmacs,
+            q.simd_speedup
+        );
+        json.push_str(if i + 1 < report.qgemm.len() {
             ",\n"
         } else {
             "\n"

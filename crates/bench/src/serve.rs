@@ -58,6 +58,8 @@ pub struct ServeRun {
 pub struct ServeBenchReport {
     /// Pool size used (workers + dispatcher).
     pub threads: usize,
+    /// SIMD tier the kernels ran at (`MERSIT_SIMD` clamped to the host).
+    pub simd_isa: String,
     /// Whether this was the CI quick grid.
     pub quick: bool,
     /// Server flush threshold in effect.
@@ -281,6 +283,11 @@ fn finish_run(
 #[must_use]
 pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     let _span = mersit_obs::span("bench.serve");
+    println!(
+        "serve_bench: {} threads, simd {}",
+        par::pool_size(),
+        mersit_core::simd_level()
+    );
     let (hw, sample_pool, per_client, open_total) = if quick {
         (8usize, 8usize, 12usize, 24usize)
     } else {
@@ -329,6 +336,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
     }
     ServeBenchReport {
         threads: par::pool_size(),
+        simd_isa: mersit_core::simd_level().to_string(),
         quick,
         max_batch: report_cfg.max_batch,
         max_wait_us: report_cfg.max_wait_us,
@@ -345,6 +353,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
 pub fn write_serve_json(report: &ServeBenchReport) {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"threads\": {},", report.threads);
+    let _ = writeln!(json, "  \"simd_isa\": \"{}\",", report.simd_isa);
     let _ = writeln!(json, "  \"quick\": {},", report.quick);
     let _ = writeln!(json, "  \"max_batch\": {},", report.max_batch);
     let _ = writeln!(json, "  \"max_wait_us\": {},", report.max_wait_us);

@@ -69,6 +69,7 @@ pub mod posit;
 pub mod profile;
 pub mod quant_lut;
 pub mod registry;
+pub mod simd;
 pub mod tables;
 
 pub use error::InvalidFormatError;
@@ -86,4 +87,5 @@ pub use quant_lut::{
     QuantSpec, LUT_MIN_LEN,
 };
 pub use registry::{fig4_formats, hardware_formats, parse_format, table2_formats, FormatRef};
+pub use simd::{available_levels, detected_level, simd_level, SimdLevel};
 pub use tables::{code_dump, mersit_table, render_mersit_table, CodeRow, MersitTableRow};

@@ -388,9 +388,115 @@ impl QuantLut {
         }
     }
 
-    /// Fake-quantizes a slice in place.
+    /// Fake-quantizes a slice in place, dispatching to the best SIMD
+    /// tier the process selected (see [`crate::simd`]). Bit-identical to
+    /// mapping each element through [`QuantLut::map`] for every tier.
     pub fn apply(&self, xs: &mut [f32]) {
+        self.apply_with_level(crate::simd::simd_level(), xs);
+    }
+
+    /// [`QuantLut::apply`] with an explicit SIMD tier — the differential-
+    /// testing entry point (`quant_slice_props` sweeps every tier in
+    /// [`crate::simd::available_levels`]). Tiers above what the host
+    /// supports must not be passed; production code uses [`QuantLut::apply`].
+    pub fn apply_with_level(&self, level: crate::simd::SimdLevel, xs: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if level >= crate::simd::SimdLevel::Avx2 && self.probe_len <= PROBE_CUTOFF {
+            // SAFETY: `level >= Avx2` only occurs when runtime detection
+            // confirmed AVX2 (tiers are clamped to the host in `simd`,
+            // and `apply_with_level` callers sweep `available_levels`).
+            unsafe { self.apply_avx2(xs) };
+            return;
+        }
+        let _ = level;
         for x in xs {
+            *x = self.map(*x);
+        }
+    }
+
+    /// AVX2 slice kernel: eight lanes of the [`QuantLut::map`] fast path —
+    /// mask sign, bucket by `mag >> COARSE_SHIFT`, run the same bounded
+    /// probe with gathered `uppers`, then gather the prescaled outputs.
+    /// Per lane every comparison and index update is exactly the scalar
+    /// one, so the result is bit-identical by construction; lanes outside
+    /// the finite-nonzero fast path (zeros in-vector, ±∞/NaN via a scalar
+    /// fixup) take the same special-value table the scalar path reads.
+    ///
+    /// Gathers are masked to the fast lanes: a NaN magnitude shifted by
+    /// [`COARSE_SHIFT`] would index past `coarse`, so masked-off lanes
+    /// must not touch memory. Signed compares are safe throughout —
+    /// magnitudes and table bounds all fit in 31 bits.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::cast_ptr_alignment)] // unaligned intrinsics only
+    unsafe fn apply_avx2(&self, xs: &mut [f32]) {
+        use std::arch::x86_64::{
+            __m256i, _mm256_add_epi32, _mm256_and_si256, _mm256_andnot_si256, _mm256_blendv_ps,
+            _mm256_castsi256_ps, _mm256_cmpeq_epi32, _mm256_cmpgt_epi32, _mm256_loadu_si256,
+            _mm256_mask_i32gather_epi32, _mm256_mask_i32gather_ps, _mm256_movemask_ps,
+            _mm256_or_si256, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps,
+            _mm256_setzero_si256, _mm256_slli_epi32, _mm256_srli_epi32, _mm256_storeu_ps,
+            _mm256_sub_epi32,
+        };
+        const LANES: usize = 8;
+        let n = xs.len();
+        let uppers = self.uppers.as_ptr().cast::<i32>();
+        let coarse = self.coarse.as_ptr().cast::<i32>();
+        let pairs = self.out_pairs.as_ptr().cast::<f32>();
+        let mag_mask = _mm256_set1_epi32(0x7fff_ffff);
+        let max_mag = _mm256_set1_epi32(MAX_MAG_BITS as i32);
+        let zero = _mm256_setzero_si256();
+        let zero_pos = _mm256_set1_ps(self.zero_pos);
+        let zero_neg = _mm256_set1_ps(self.zero_neg);
+        let mut i = 0usize;
+        while i + LANES <= n {
+            let v = _mm256_loadu_si256(xs.as_ptr().add(i).cast::<__m256i>());
+            let mag = _mm256_and_si256(v, mag_mask);
+            // Fast lanes: 1 <= mag <= MAX_MAG_BITS (finite non-zero).
+            let nonzero = _mm256_cmpgt_epi32(mag, zero);
+            let fast = _mm256_andnot_si256(_mm256_cmpgt_epi32(mag, max_mag), nonzero);
+            let bucket = _mm256_srli_epi32::<{ COARSE_SHIFT as i32 }>(mag);
+            let mut idx = _mm256_mask_i32gather_epi32::<4>(zero, coarse, bucket, fast);
+            // Bounded probe, identical per lane to the scalar loop: add 1
+            // while `uppers[idx] < mag`; the predicate parks, so `idx`
+            // never leaves the table for fast lanes (masked lanes never
+            // gather and their idx is never used).
+            for _ in 0..self.probe_len {
+                let u = _mm256_mask_i32gather_epi32::<4>(zero, uppers, idx, fast);
+                idx = _mm256_sub_epi32(idx, _mm256_and_si256(_mm256_cmpgt_epi32(mag, u), fast));
+            }
+            let sign = _mm256_srli_epi32::<31>(v);
+            let flat = _mm256_add_epi32(_mm256_slli_epi32::<1>(idx), sign);
+            let fast_out = _mm256_mask_i32gather_ps::<4>(
+                _mm256_setzero_ps(),
+                pairs,
+                flat,
+                _mm256_castsi256_ps(fast),
+            );
+            // ±0.0 lanes in-vector: select by sign bit (the top bit of
+            // each f32 lane of `v` is exactly what blendv keys on).
+            let zeros = _mm256_cmpeq_epi32(mag, zero);
+            let zero_out = _mm256_blendv_ps(zero_pos, zero_neg, _mm256_castsi256_ps(v));
+            let out = _mm256_blendv_ps(fast_out, zero_out, _mm256_castsi256_ps(zeros));
+            // ±∞ / NaN lanes (rare) go through the scalar map after the
+            // vector store, reading the staged original values.
+            let special = _mm256_andnot_si256(_mm256_or_si256(fast, zeros), _mm256_set1_epi32(-1));
+            let special_bits = _mm256_movemask_ps(_mm256_castsi256_ps(special));
+            if special_bits == 0 {
+                _mm256_storeu_ps(xs.as_mut_ptr().add(i), out);
+            } else {
+                let mut orig = [0.0f32; LANES];
+                _mm256_storeu_ps(orig.as_mut_ptr(), _mm256_castsi256_ps(v));
+                _mm256_storeu_ps(xs.as_mut_ptr().add(i), out);
+                for (j, &x) in orig.iter().enumerate() {
+                    if special_bits & (1 << j) != 0 {
+                        xs[i + j] = self.map(x);
+                    }
+                }
+            }
+            i += LANES;
+        }
+        for x in &mut xs[i..] {
             *x = self.map(*x);
         }
     }
@@ -399,6 +505,15 @@ impl QuantLut {
     #[must_use]
     pub fn num_regions(&self) -> usize {
         self.uppers.len()
+    }
+
+    /// Most regions any coarse bucket spans — the probe trip count.
+    /// Above the probe cutoff (8) the lookup switches to binary search
+    /// and [`QuantLut::apply`] stays scalar; exposed so tests can assert
+    /// both lookup regimes are actually covered.
+    #[must_use]
+    pub fn probe_len(&self) -> u32 {
+        self.probe_len
     }
 }
 

@@ -1,0 +1,210 @@
+//! Runtime SIMD tier selection shared by every vectorized kernel.
+//!
+//! The workspace carries explicit `std::arch` micro-kernels (the f32 GEMM
+//! and integer qgemm in `mersit-tensor`, the [`crate::QuantLut`] probe in
+//! this crate). All of them dispatch through one process-wide tier,
+//! detected **once** and cached in a `OnceLock` — never per kernel call —
+//! and overridable by the `MERSIT_SIMD` environment variable:
+//!
+//! | value                    | effect                                    |
+//! |--------------------------|-------------------------------------------|
+//! | unset, `1`, `on`, `auto` | best tier the host supports (default)     |
+//! | `0`, `off`, `scalar`     | force the scalar reference kernels        |
+//! | `neon` / `avx2` / `avx512` | best *available* tier not above that one |
+//!
+//! Tiers are totally ordered `Scalar < Neon < Avx2 < Avx512` so a named
+//! request clamps downward on hosts that cannot honor it (e.g.
+//! `MERSIT_SIMD=avx512` on an AVX2-only box selects AVX2; `neon` on
+//! x86_64 selects scalar). Unrecognized values fall back to auto-detect.
+//!
+//! # Bit-identity contract
+//!
+//! Selecting a tier never changes a single output bit: every SIMD kernel
+//! in the workspace is proven bit-identical to its scalar reference by
+//! the `gemm_props` / `qgemm_props` / `quant_slice_props` harnesses,
+//! which sweep all tiers supported by the host. `MERSIT_SIMD=0` exists as
+//! a kill-switch for debugging and differential testing, not because the
+//! outputs differ.
+
+use std::sync::OnceLock;
+
+/// One SIMD capability tier. Ordered: a kernel compiled for a tier may be
+/// selected whenever the active tier is `>=` it (and the architecture
+/// matches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar Rust — the bit-identity reference, always present.
+    Scalar = 0,
+    /// aarch64 Advanced SIMD (128-bit).
+    Neon = 1,
+    /// x86_64 AVX2 (256-bit; all AVX2 hosts also carry FMA, which the
+    /// kernels deliberately do **not** use — see the tensor `simd` docs).
+    Avx2 = 2,
+    /// x86_64 AVX-512F (512-bit).
+    Avx512 = 3,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name, used in report headers and obs counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Neon => "neon",
+            Self::Avx2 => "avx2",
+            Self::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Best tier the host CPU supports, ignoring `MERSIT_SIMD`.
+#[must_use]
+pub fn detected_level() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(detect)
+}
+
+#[allow(unreachable_code)] // each target keeps exactly one arm
+fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return SimdLevel::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        return SimdLevel::Scalar;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return SimdLevel::Neon;
+        }
+        return SimdLevel::Scalar;
+    }
+    #[allow(unreachable_code)]
+    SimdLevel::Scalar
+}
+
+/// Parses a `MERSIT_SIMD` value against the detected tier.
+fn parse(raw: &str, detected: SimdLevel) -> SimdLevel {
+    let requested = match raw.trim().to_ascii_lowercase().as_str() {
+        "0" | "off" | "scalar" | "none" => SimdLevel::Scalar,
+        "neon" => SimdLevel::Neon,
+        "avx2" => SimdLevel::Avx2,
+        "avx512" => SimdLevel::Avx512,
+        _ => detected, // "", "1", "on", "auto", unrecognized
+    };
+    // Clamp to the best tier the host actually has, never above the
+    // request: the active tier must always be runnable.
+    best_at_most(requested, detected)
+}
+
+/// Best host-supported tier that does not exceed `cap`.
+fn best_at_most(cap: SimdLevel, detected: SimdLevel) -> SimdLevel {
+    available_levels()
+        .iter()
+        .copied()
+        .filter(|&l| l <= cap && l <= detected)
+        .max()
+        .unwrap_or(SimdLevel::Scalar)
+}
+
+/// Every tier this host can execute, ascending, always starting with
+/// [`SimdLevel::Scalar`]. This is what the property-test harnesses sweep
+/// so each supported kernel is differentially tested in-process.
+#[must_use]
+pub fn available_levels() -> &'static [SimdLevel] {
+    static LEVELS: OnceLock<Vec<SimdLevel>> = OnceLock::new();
+    LEVELS.get_or_init(|| {
+        let mut levels = vec![SimdLevel::Scalar];
+        let detected = detected_level();
+        for l in [SimdLevel::Neon, SimdLevel::Avx2, SimdLevel::Avx512] {
+            if l <= detected {
+                levels.push(l);
+            }
+        }
+        levels
+    })
+}
+
+/// The process-wide active tier: detection ∧ `MERSIT_SIMD`, computed once.
+///
+/// Read this at kernel dispatch time; it is one relaxed atomic load after
+/// the first call. Tests that need other tiers use the explicit
+/// `*_with_level` kernel entry points instead of mutating the
+/// environment (the latch is deliberately process-wide so production
+/// call sites never re-parse).
+#[must_use]
+pub fn simd_level() -> SimdLevel {
+    static ACTIVE: OnceLock<SimdLevel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var("MERSIT_SIMD") {
+        Ok(raw) => parse(&raw, detected_level()),
+        Err(_) => detected_level(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_switch_values_force_scalar() {
+        for raw in ["0", "off", "OFF", "scalar", " Scalar ", "none"] {
+            assert_eq!(parse(raw, detected_level()), SimdLevel::Scalar, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn auto_values_select_detected() {
+        for raw in ["1", "on", "auto", "", "bogus"] {
+            assert_eq!(parse(raw, detected_level()), detected_level(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn named_tiers_clamp_to_available() {
+        let detected = detected_level();
+        for raw in ["neon", "avx2", "avx512"] {
+            let level = parse(raw, detected);
+            assert!(
+                level <= detected,
+                "{raw}: {level} above detected {detected}"
+            );
+            assert!(
+                available_levels().contains(&level),
+                "{raw}: {level} not runnable here"
+            );
+        }
+    }
+
+    #[test]
+    fn available_levels_start_scalar_and_end_detected() {
+        let levels = available_levels();
+        assert_eq!(levels.first(), Some(&SimdLevel::Scalar));
+        assert_eq!(levels.last(), Some(&detected_level()));
+        assert!(levels.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    #[test]
+    fn active_level_is_runnable() {
+        assert!(available_levels().contains(&simd_level()));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SimdLevel::Scalar.name(), "scalar");
+        assert_eq!(SimdLevel::Neon.name(), "neon");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert_eq!(SimdLevel::Avx512.name(), "avx512");
+        assert_eq!(SimdLevel::Avx512.to_string(), "avx512");
+    }
+}

@@ -4,9 +4,15 @@
 //! `(quantize(x / scale) * scale) as f32` loop — across random bit
 //! patterns, tie midpoints, subnormal inputs, ±∞-adjacent magnitudes,
 //! NaNs, and non-unit scales, on both the LUT path (slices past
-//! `LUT_MIN_LEN`) and the scalar fallback.
+//! `LUT_MIN_LEN`) and the scalar fallback — and `QuantLut::apply` must
+//! equal the per-element `QuantLut::map` loop on **every SIMD tier** the
+//! host supports, including degenerate scales whose crowded coarse
+//! buckets push `probe_len` past the vector kernel's probe cutoff.
 
-use mersit_core::{quantize_slice_scalar, table2_formats, Format, ValueClass, LUT_MIN_LEN};
+use mersit_core::{
+    available_levels, quantize_slice_scalar, table2_formats, Format, QuantLut, ValueClass,
+    LUT_MIN_LEN,
+};
 use proptest::prelude::*;
 
 /// Asserts slice == scalar bit-for-bit for one format over one input set.
@@ -24,6 +30,33 @@ fn assert_bit_identical(fmt: &dyn Format, xs: &[f32], scale: f64) {
             xs[i],
             xs[i].to_bits()
         );
+    }
+}
+
+/// Asserts the slice codec equals the per-element `map` loop bit-for-bit
+/// on every SIMD tier this host can run (scalar plus each vector
+/// kernel), across even and odd lengths (vector body + scalar tail).
+fn assert_lut_levels_match_map(fmt: &dyn Format, xs: &[f32], scale: f64) {
+    let Some(lut) = QuantLut::build(&fmt.quant_spec(), scale) else {
+        return;
+    };
+    let want: Vec<u32> = xs.iter().map(|&x| lut.map(x).to_bits()).collect();
+    for &level in available_levels() {
+        for len in [xs.len(), xs.len().saturating_sub(3)] {
+            let mut got = xs[..len].to_vec();
+            lut.apply_with_level(level, &mut got);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    *w,
+                    "{} scale={scale:e} {} x={:e} ({:#010x}) elem {i}",
+                    fmt.name(),
+                    level.name(),
+                    xs[i],
+                    xs[i].to_bits()
+                );
+            }
+        }
     }
 }
 
@@ -148,6 +181,24 @@ proptest! {
     }
 
     #[test]
+    fn lut_apply_matches_map_on_every_simd_tier(
+        words in prop::collection::vec(any::<u64>(), 600),
+        sexp in -30i32..31,
+        mantissa in 1.0f64..2.0,
+    ) {
+        // The vectorized slice codec against the per-element `map` loop,
+        // on every runnable tier: random bit patterns (all f32 classes,
+        // NaN lanes exercising the masked gathers) plus the fixed
+        // specials, odd lengths for the scalar tail.
+        let mut xs: Vec<f32> = words.iter().map(|&w| f32::from_bits(w as u32)).collect();
+        xs.extend(specials());
+        let scale = f64::powi(2.0, sexp) * mantissa;
+        for fmt in table2_formats() {
+            assert_lut_levels_match_map(fmt.as_ref(), &xs, scale);
+        }
+    }
+
+    #[test]
     fn degenerate_scales_fall_back_identically(
         words in prop::collection::vec(any::<u64>(), LUT_MIN_LEN),
     ) {
@@ -160,4 +211,41 @@ proptest! {
             }
         }
     }
+}
+
+#[test]
+fn crowded_probe_scales_match_on_every_simd_tier() {
+    // Subnormal-range scales push every format cut into the f32
+    // subnormal binades, where the linear coarse-bucket grid collapses:
+    // one bucket holds (nearly) every region and `probe_len` climbs past
+    // 100 — far beyond the vector kernel's bounded-probe cutoff, so the
+    // slice codec must take the whole-slice scalar fallback and still
+    // match `map` exactly. The assertion on `probe_len` keeps this test
+    // honest: if the bucket grid ever changes, it fails loudly rather
+    // than silently testing the fast path twice.
+    let mut xs: Vec<f32> = (0u32..1500)
+        .map(|i| {
+            let mag = i.wrapping_mul(0x9E37_79B9) & 0x00ff_ffff; // subnormal/small-normal bits
+            let sign = u32::from(i % 2 == 1) << 31;
+            f32::from_bits(mag | sign)
+        })
+        .collect();
+    xs.extend(specials());
+
+    let mut crowded_seen = 0u32;
+    for &scale in &[5e-42f64, 1e-41] {
+        for fmt in table2_formats() {
+            if let Some(lut) = QuantLut::build(&fmt.quant_spec(), scale) {
+                if lut.probe_len() > 8 {
+                    crowded_seen += 1;
+                }
+            }
+            assert_lut_levels_match_map(fmt.as_ref(), &xs, scale);
+            assert_bit_identical(fmt.as_ref(), &xs, scale);
+        }
+    }
+    assert!(
+        crowded_seen >= 4,
+        "expected several crowded-bucket LUTs (probe_len > 8), saw {crowded_seen}"
+    );
 }

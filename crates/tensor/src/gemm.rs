@@ -24,18 +24,29 @@
 //! * the row split across threads never crosses an output element.
 //!
 //! Pinned by `tests/gemm_props.rs` across random shapes, the tile
-//! boundaries of [`MR`]/[`NR`]/[`KC`]/[`MC`], and explicit thread counts.
+//! boundaries of [`MR`]/[`NR`]/[`KC`]/[`MC`], explicit thread counts,
+//! and every SIMD tier the host supports (via [`gemm_rows_with_level`]).
+//!
+//! # SIMD dispatch
+//!
+//! [`gemm_rows`] routes full panels through the explicit vector kernels
+//! in [`crate::simd`] when the process-wide tier
+//! ([`mersit_core::simd::simd_level`], overridable with `MERSIT_SIMD`)
+//! allows it; the scalar micro-kernels below remain the always-compiled
+//! reference and the fallback for tail panels and scalar-only hosts.
 
-/// Micro-kernel panel width (output columns per register block). Eight
-/// f32 lanes = one AVX2 vector; the inner loop is written over the full
-/// fixed width so it autovectorizes.
-pub const NR: usize = 8;
+/// Micro-kernel panel width (output columns per register block). Sixteen
+/// f32 lanes = one AVX-512 vector, two AVX2 vectors, or four NEON
+/// vectors; the scalar inner loop is written over the full fixed width
+/// so it autovectorizes even without the explicit kernels.
+pub const NR: usize = 16;
 
-/// Micro-kernel height (output rows per register block): 4×8 f32
-/// accumulators stay comfortably within 16 vector registers.
+/// Scalar micro-kernel height (output rows per register block): 4×16 f32
+/// accumulators stay comfortably within 16 vector registers. The
+/// explicit SIMD tiles use their own heights ([`crate::simd`]).
 pub const MR: usize = 4;
 
-/// k-dimension block: one [`KC`]×[`NR`] panel strip (8 KiB) stays
+/// k-dimension block: one [`KC`]×[`NR`] panel strip (16 KiB) stays
 /// L1-resident while a row block streams over it.
 pub const KC: usize = 256;
 
@@ -130,8 +141,13 @@ impl PackedRhs {
         self.n
     }
 
-    fn panels(&self) -> usize {
+    pub(crate) fn panels(&self) -> usize {
         self.n.div_ceil(NR)
+    }
+
+    /// Raw panel storage, for the vector kernels in [`crate::simd`].
+    pub(crate) fn data(&self) -> &[f32] {
+        &self.data
     }
 }
 
@@ -139,6 +155,15 @@ impl PackedRhs {
 /// `out[i][j] += a[i][kk] · b[kk][j]` with `kk` ascending — the
 /// accumulation order every other kernel in this module reproduces
 /// bit-for-bit. `out` is accumulated into (callers pass zeros).
+///
+/// This loop is the **canonical scalar order**: separate multiply then
+/// add per step (never `mul_add` — a fused single rounding would change
+/// results), `kk` strictly ascending. It doubles as the perf baseline in
+/// `mersit-bench` and the reference in `tests/gemm_props.rs`, so it must
+/// not be restructured; `#[inline(never)]` keeps it a single stable
+/// compilation unit so the SIMD kernels are never benchmarked against an
+/// inline-context autovectorization that shifts across compiler versions.
+#[inline(never)]
 pub fn matmul_naive_rows(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     if n == 0 {
         return;
@@ -209,7 +234,7 @@ fn micro_full<const M: usize>(
 /// lanes compute against the panel's zero padding and are never stored.
 #[inline(always)] // same codegen contract as micro_full
 #[allow(clippy::inline_always, clippy::too_many_arguments)]
-fn micro_edge<const M: usize>(
+pub(crate) fn micro_edge<const M: usize>(
     a: &[f32],
     k: usize,
     n: usize,
@@ -254,12 +279,28 @@ fn micro_edge<const M: usize>(
 /// (`a`, row-major `rows`×`k`) against a packed rhs, accumulating into
 /// `out` (zeroed by the caller). Bit-identical to
 /// [`matmul_naive_rows`] on the unpacked rhs — see the module docs.
+/// Dispatches to the explicit vector kernels when the process-wide SIMD
+/// tier permits; `MERSIT_SIMD=0` forces the scalar micro-kernels.
 ///
 /// # Panics
 ///
 /// Debug-panics when `a`/`out` lengths are inconsistent with `k` and
 /// the packed dimensions.
 pub fn gemm_rows(a: &[f32], k: usize, packed: &PackedRhs, out: &mut [f32]) {
+    gemm_rows_with_level(mersit_core::simd::simd_level(), a, k, packed, out);
+}
+
+/// [`gemm_rows`] with an explicit SIMD tier — the differential-testing
+/// entry point (`tests/gemm_props.rs` sweeps every tier in
+/// [`mersit_core::simd::available_levels`]). Tiers the host cannot run
+/// must not be passed; production code uses [`gemm_rows`].
+pub fn gemm_rows_with_level(
+    level: mersit_core::simd::SimdLevel,
+    a: &[f32],
+    k: usize,
+    packed: &PackedRhs,
+    out: &mut [f32],
+) {
     let n = packed.n;
     if n == 0 || k == 0 {
         return;
@@ -267,6 +308,9 @@ pub fn gemm_rows(a: &[f32], k: usize, packed: &PackedRhs, out: &mut [f32]) {
     debug_assert_eq!(packed.k, k, "packed rhs k mismatch");
     let rows = out.len() / n;
     debug_assert_eq!(a.len(), rows * k, "lhs rows mismatch");
+    if crate::simd::gemm_rows_simd(level, a, k, packed, out) {
+        return;
+    }
     for kb in (0..k).step_by(KC) {
         let kend = (kb + KC).min(k);
         let first = kb == 0;

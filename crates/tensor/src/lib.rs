@@ -42,6 +42,7 @@ pub mod par;
 pub mod pool;
 pub mod qgemm;
 pub mod rng;
+pub mod simd;
 pub mod tensor;
 
 pub use gemm::PackedRhs;

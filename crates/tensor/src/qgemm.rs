@@ -20,12 +20,16 @@ use crate::par;
 
 /// An integer rhs repacked into [`NR`]-wide column panels with the exact
 /// layout of [`crate::gemm::PackedRhs`]: `data[p·k·NR + kk·NR + j]` holds
-/// `B[kk][p·NR + j]`, tail panel zero-padded.
+/// `B[kk][p·NR + j]`, tail panel zero-padded. Packing also records the
+/// maximum operand magnitude so [`qgemm_rows`] can prove, per call, that
+/// the SIMD tile's 64-bit partial-product accumulators cannot overflow.
 #[derive(Clone)]
 pub struct PackedCodeRhs {
     data: Vec<i64>,
     k: usize,
     n: usize,
+    /// `max |B[kk][j]|` over the packed matrix, computed at pack time.
+    max_abs: u64,
 }
 
 impl std::fmt::Debug for PackedCodeRhs {
@@ -58,7 +62,13 @@ impl PackedCodeRhs {
                 panel[kk * NR..kk * NR + nr].copy_from_slice(&b[kk * n + j0..kk * n + j0 + nr]);
             }
         }
-        Self { data, k, n }
+        let max_abs = b.iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+        Self {
+            data,
+            k,
+            n,
+            max_abs,
+        }
     }
 
     /// Packs the transpose of a row-major `[n, k]` matrix without
@@ -82,7 +92,13 @@ impl PackedCodeRhs {
                 }
             }
         }
-        Self { data, k, n }
+        let max_abs = bt.iter().map(|&v| v.unsigned_abs()).max().unwrap_or(0);
+        Self {
+            data,
+            k,
+            n,
+            max_abs,
+        }
     }
 
     /// Inner (k) dimension of the packed matrix.
@@ -97,8 +113,19 @@ impl PackedCodeRhs {
         self.n
     }
 
-    fn panels(&self) -> usize {
+    pub(crate) fn panels(&self) -> usize {
         self.n.div_ceil(NR)
+    }
+
+    /// Raw panel storage, for the vector kernel in [`crate::simd`].
+    pub(crate) fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Maximum operand magnitude, recorded at pack time — the rhs half
+    /// of the SIMD overflow gate in [`crate::simd`].
+    pub(crate) fn max_abs(&self) -> u64 {
+        self.max_abs
     }
 }
 
@@ -128,13 +155,30 @@ pub fn qgemm_naive_rows(a: &[i64], k: usize, b: &[i64], n: usize, out: &mut [i12
 /// Blocked product of `rows = out.len() / packed.n()` lhs rows against a
 /// packed integer rhs, accumulating exactly into `out` (zeroed or
 /// pre-loaded by the caller). Serial; see [`qgemm_rows_par`] for the
-/// row-split entry point.
+/// row-split entry point. When the process-wide SIMD tier and the
+/// operand magnitudes allow, the product runs through the widening
+/// vector tile in [`crate::simd`] — exactness is unconditional either
+/// way (integer sums are associative), `MERSIT_SIMD=0` forces scalar.
 ///
 /// # Panics
 ///
 /// Debug-panics when `a`/`out` lengths are inconsistent with `k` and the
 /// packed dimensions.
 pub fn qgemm_rows(a: &[i64], k: usize, packed: &PackedCodeRhs, out: &mut [i128]) {
+    qgemm_rows_with_level(mersit_core::simd::simd_level(), a, k, packed, out);
+}
+
+/// [`qgemm_rows`] with an explicit SIMD tier — the differential-testing
+/// entry point (`tests/qgemm_props.rs` sweeps every tier in
+/// [`mersit_core::simd::available_levels`]). Tiers the host cannot run
+/// must not be passed; production code uses [`qgemm_rows`].
+pub fn qgemm_rows_with_level(
+    level: mersit_core::simd::SimdLevel,
+    a: &[i64],
+    k: usize,
+    packed: &PackedCodeRhs,
+    out: &mut [i128],
+) {
     let n = packed.n;
     if n == 0 || k == 0 {
         return;
@@ -142,6 +186,9 @@ pub fn qgemm_rows(a: &[i64], k: usize, packed: &PackedCodeRhs, out: &mut [i128])
     debug_assert_eq!(packed.k, k, "packed rhs k mismatch");
     let rows = out.len() / n;
     debug_assert_eq!(a.len(), rows * k, "lhs rows mismatch");
+    if crate::simd::qgemm_rows_simd(level, a, k, packed, out) {
+        return;
+    }
     for kb in (0..k).step_by(KC) {
         let kend = (kb + KC).min(k);
         for i in 0..rows {

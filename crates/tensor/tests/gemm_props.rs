@@ -1,11 +1,14 @@
 //! Bit-identity properties of the packed, cache-blocked GEMM: for every
-//! shape (random and tile-boundary), thread count, and entry point
-//! (`gemm_rows`, `Tensor::matmul`, `Tensor::matmul_packed`), the output
-//! must equal the serial i-k-j reference loop bit for bit. This is the
-//! invariant the whole PTQ test suite leans on — a single reordered
-//! addition here shows up as a prediction diff in `plan_matches_legacy`.
+//! shape (random and tile-boundary), thread count, **SIMD tier** the
+//! host supports (scalar and each vector kernel, via
+//! `gemm_rows_with_level`), and entry point (`gemm_rows`,
+//! `Tensor::matmul`, `Tensor::matmul_packed`), the output must equal the
+//! serial i-k-j reference loop bit for bit. This is the invariant the
+//! whole PTQ test suite leans on — a single reordered addition here
+//! shows up as a prediction diff in `plan_matches_legacy`.
 
 use mersit_tensor::gemm::{self, PackedRhs, KC, MC, MR, NR};
+use mersit_tensor::simd::available_levels;
 use mersit_tensor::{par_chunks_mut_with, Rng, Tensor};
 use proptest::prelude::*;
 
@@ -53,6 +56,14 @@ fn check_shape(m: usize, k: usize, n: usize, seed: u64) {
     gemm::gemm_rows(&a, k, &packed, &mut got);
     assert_bits_eq(&got, &want, "gemm_rows", m, k, n);
 
+    // Every SIMD tier this host can run (the process-default result
+    // above is one of these; the sweep proves the rest agree too).
+    for &level in available_levels() {
+        let mut got_l = vec![0.0f32; m * n];
+        gemm::gemm_rows_with_level(level, &a, k, &packed, &mut got_l);
+        assert_bits_eq(&got_l, &want, level.name(), m, k, n);
+    }
+
     // Public tensor paths (small m takes the naive route, large m packs).
     let at = Tensor::from_vec(a.clone(), &[m, k]);
     let bt = Tensor::from_vec(b.clone(), &[k, n]);
@@ -79,11 +90,13 @@ fn check_shape(m: usize, k: usize, n: usize, seed: u64) {
     assert_bits_eq(&got_t, &want, "gemm_rows(pack_t)", m, k, n);
 }
 
-/// Replicates `matmul_packed`'s row-chunked dispatch with an explicit
-/// chunk count (the env-var pool size is latched process-wide, so the
-/// explicit-count API is how tests sweep thread counts).
+/// Replicates `matmul_packed`'s row-chunked dispatch with explicit
+/// chunk count and SIMD tier (the env-var pool size and `MERSIT_SIMD`
+/// are latched process-wide, so the explicit APIs are how tests sweep
+/// thread counts and tiers).
 fn matmul_packed_with_threads(
     threads: usize,
+    level: mersit_tensor::simd::SimdLevel,
     a: &[f32],
     k: usize,
     packed: &PackedRhs,
@@ -94,7 +107,7 @@ fn matmul_packed_with_threads(
     if n > 0 {
         par_chunks_mut_with(threads, &mut out, n, 1, |i0, chunk| {
             let rows = chunk.len() / n;
-            gemm::gemm_rows(&a[i0 * k..(i0 + rows) * k], k, packed, chunk);
+            gemm::gemm_rows_with_level(level, &a[i0 * k..(i0 + rows) * k], k, packed, chunk);
         });
     }
     out
@@ -123,18 +136,22 @@ proptest! {
         let (a, b) = random_mats(m, k, n, seed);
         let want = reference(&a, &b, m, k, n);
         let packed = PackedRhs::pack(&b, k, n);
-        for threads in [1usize, 2, 7] {
-            let got = matmul_packed_with_threads(threads, &a, k, &packed, m);
-            assert_bits_eq(&got, &want, "threads", m, k, n);
+        for &level in available_levels() {
+            for threads in [1usize, 2, 7] {
+                let got = matmul_packed_with_threads(threads, level, &a, k, &packed, m);
+                assert_bits_eq(&got, &want, level.name(), m, k, n);
+            }
         }
     }
 }
 
 #[test]
 fn tile_boundary_grid_bit_identical() {
-    // Every micro/block dimension at 1, tile−1, tile, tile+1, and odd.
-    let ms = [1, MR - 1, MR, MR + 1, MC - 1, MC, MC + 1, 37];
-    let ns = [1, NR - 1, NR, NR + 1, 25];
+    // Every micro/block dimension at 1, tile−1, tile, tile+1, and odd —
+    // including the vector tile heights (6 rows for AVX2, 8 for AVX-512)
+    // that differ from the scalar MR.
+    let ms = [1, MR - 1, MR, MR + 1, 6, 8, 9, MC - 1, MC, MC + 1, 37];
+    let ns = [1, NR - 1, NR, NR + 1, 2 * NR + 1, 25];
     let ks = [1, 3, KC - 1, KC, KC + 1];
     let mut seed = 0x51_u64;
     for &m in &ms {

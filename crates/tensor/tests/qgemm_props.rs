@@ -1,13 +1,17 @@
 //! Bit-identity properties of the packed integer GEMM: for every shape
-//! (random and tile-boundary) and thread count, the blocked/packed/
-//! threaded kernels must equal the serial i-k-j reference **exactly** —
-//! integer addition is associative, so there is no tolerance, only
-//! equality. This is the kernel half of the bit-true chain: the golden
-//! differential (`mersit-ptq/tests/bittrue_golden.rs`) proves the scalar
-//! dot product, and these properties prove every tiling of it.
+//! (random and tile-boundary), thread count, and SIMD tier (scalar and
+//! the widening vector tile, via `qgemm_rows_with_level`), the blocked/
+//! packed/threaded kernels must equal the serial i-k-j reference
+//! **exactly** — integer addition is associative, so there is no
+//! tolerance, only equality. This is the kernel half of the bit-true
+//! chain: the golden differential (`mersit-ptq/tests/bittrue_golden.rs`)
+//! proves the scalar dot product, and these properties prove every
+//! tiling of it. The vector tile's overflow gate (operands ≤ 31 bits,
+//! block sum ≤ i64) is probed on both sides.
 
 use mersit_tensor::gemm::{KC, NR};
 use mersit_tensor::qgemm::{self, PackedCodeRhs};
+use mersit_tensor::simd::available_levels;
 use mersit_tensor::{par_chunks_mut_with, Rng};
 use proptest::prelude::*;
 
@@ -43,6 +47,13 @@ fn check_shape(m: usize, k: usize, n: usize, bits: u32, seed: u64) {
     qgemm::qgemm_rows(&a, k, &packed, &mut got);
     assert_eq!(got, want, "qgemm_rows [{m},{k},{n}]");
 
+    // Every SIMD tier this host can run.
+    for &level in available_levels() {
+        let mut got_l = vec![0i128; m * n];
+        qgemm::qgemm_rows_with_level(level, &a, k, &packed, &mut got_l);
+        assert_eq!(got_l, want, "{} [{m},{k},{n}]", level.name());
+    }
+
     // pack_t from the transposed (weight-matrix) layout must agree.
     let mut bt = vec![0i64; n * k];
     for kk in 0..k {
@@ -60,11 +71,12 @@ fn check_shape(m: usize, k: usize, n: usize, bits: u32, seed: u64) {
     assert_eq!(got_par, want, "qgemm_rows_par [{m},{k},{n}]");
 }
 
-/// Replicates `qgemm_rows_par`'s row split with an explicit thread count
-/// (the env-var pool size is latched process-wide, so the explicit-count
-/// API is how tests sweep thread counts).
+/// Replicates `qgemm_rows_par`'s row split with explicit thread count
+/// and SIMD tier (the env-var pool size and `MERSIT_SIMD` are latched
+/// process-wide, so the explicit APIs are how tests sweep both).
 fn qgemm_with_threads(
     threads: usize,
+    level: mersit_tensor::simd::SimdLevel,
     a: &[i64],
     k: usize,
     packed: &PackedCodeRhs,
@@ -75,7 +87,7 @@ fn qgemm_with_threads(
     if n > 0 {
         par_chunks_mut_with(threads, &mut out, n, 1, |i0, chunk| {
             let rows = chunk.len() / n;
-            qgemm::qgemm_rows(&a[i0 * k..(i0 + rows) * k], k, packed, chunk);
+            qgemm::qgemm_rows_with_level(level, &a[i0 * k..(i0 + rows) * k], k, packed, chunk);
         });
     }
     out
@@ -106,9 +118,11 @@ proptest! {
         let b = random_codes(&mut rng, k * n, 24);
         let want = reference(&a, &b, m, k, n);
         let packed = PackedCodeRhs::pack(&b, k, n);
-        for threads in [1usize, 2, 7] {
-            let got = qgemm_with_threads(threads, &a, k, &packed, m);
-            prop_assert!(got == want, "threads={threads} [{m},{k},{n}]");
+        for &level in available_levels() {
+            for threads in [1usize, 2, 7] {
+                let got = qgemm_with_threads(threads, level, &a, k, &packed, m);
+                prop_assert!(got == want, "{} threads={threads} [{m},{k},{n}]", level.name());
+            }
         }
     }
 }
@@ -132,7 +146,9 @@ fn tile_boundary_grid_bit_identical() {
 #[test]
 fn near_overflow_products_stay_exact() {
     // 61-bit operands with k=4: products near the i128 edge must still
-    // match the reference (both sides widen before the multiply).
+    // match the reference (both sides widen before the multiply). These
+    // exceed the vector tile's 31-bit operand gate, so every tier must
+    // take the scalar fallback and stay exact.
     let a = vec![(1i64 << 61) - 1, -((1i64 << 61) - 3), 5, -7];
     let b = vec![-((1i64 << 61) - 5), (1i64 << 61) - 7, -11, 13];
     let want = reference(&a, &b, 1, 4, 1);
@@ -140,4 +156,56 @@ fn near_overflow_products_stay_exact() {
     let mut got = vec![0i128; 1];
     qgemm::qgemm_rows(&a, 4, &packed, &mut got);
     assert_eq!(got, want);
+    for &level in available_levels() {
+        let mut got_l = vec![0i128; 1];
+        qgemm::qgemm_rows_with_level(level, &a, 4, &packed, &mut got_l);
+        assert_eq!(got_l, want, "{}", level.name());
+    }
+}
+
+#[test]
+fn simd_gate_boundaries_stay_exact() {
+    // Both sides of the vector tile's overflow gate, on every tier.
+    //
+    // Eligible edge: 30-bit operands with k=4 — the per-block bound
+    // 4·2^30·2^30 = 2^62 fits i64, so the vector tile runs with lane
+    // sums near the i64 edge.
+    let lim = (1i64 << 30) - 1;
+    let a = vec![lim, -lim, lim, lim];
+    let b: Vec<i64> = (0..4 * NR)
+        .map(|i| if i % 3 == 0 { lim } else { -lim + i as i64 })
+        .collect();
+    let want = reference(&a, &b, 1, 4, NR);
+    let packed = PackedCodeRhs::pack(&b, 4, NR);
+    for &level in available_levels() {
+        let mut got = vec![0i128; NR];
+        qgemm::qgemm_rows_with_level(level, &a, 4, &packed, &mut got);
+        assert_eq!(got, want, "eligible edge, {}", level.name());
+    }
+
+    // Ineligible: 32-bit operands must force the scalar fallback
+    // (vpmuldq would truncate them); results stay exact regardless.
+    let wide = (1i64 << 32) + 5;
+    let a2 = vec![wide, -wide, 3, wide];
+    let b2: Vec<i64> = (0..4 * NR).map(|i| wide - i as i64).collect();
+    let want2 = reference(&a2, &b2, 1, 4, NR);
+    let packed2 = PackedCodeRhs::pack(&b2, 4, NR);
+    for &level in available_levels() {
+        let mut got = vec![0i128; NR];
+        qgemm::qgemm_rows_with_level(level, &a2, 4, &packed2, &mut got);
+        assert_eq!(got, want2, "wide fallback, {}", level.name());
+    }
+
+    // Ineligible by block-sum only: 31-bit operands with k = KC means
+    // KC·2^31·2^31 overflows i64 even though each operand fits i32.
+    let mut rng = Rng::new(77);
+    let a3 = random_codes(&mut rng, KC, 31);
+    let b3 = random_codes(&mut rng, KC * 3, 31);
+    let want3 = reference(&a3, &b3, 1, KC, 3);
+    let packed3 = PackedCodeRhs::pack(&b3, KC, 3);
+    for &level in available_levels() {
+        let mut got = vec![0i128; 3];
+        qgemm::qgemm_rows_with_level(level, &a3, KC, &packed3, &mut got);
+        assert_eq!(got, want3, "block-sum fallback, {}", level.name());
+    }
 }
