@@ -11,10 +11,13 @@
 
 use mersit_nn::models::{mobilenet_v3_t, vgg_t};
 use mersit_ptq::{calibrate, Executor};
-use mersit_serve::{Request, ServeConfig, Server};
+use mersit_serve::{wire, NetConfig, Request, ServeConfig, Server};
 use mersit_tensor::{par, Rng, Tensor};
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One (model × format × executor × mode × offered-load) measurement.
@@ -53,6 +56,53 @@ pub struct ServeRun {
     pub mean_batch: f64,
 }
 
+/// One socket-mode measurement: N pipelined connections driving the
+/// wire protocol against a `mersit_serve::net` event loop.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// Model served.
+    pub model: String,
+    /// Format name, or `"fp32"` for the unquantized reference path.
+    pub format: String,
+    /// Executor name (`"float"` / `"bittrue"`).
+    pub executor: String,
+    /// Concurrent TCP connections held open for the whole pass.
+    pub connections: usize,
+    /// Requests kept in flight per connection (pipelining depth).
+    pub pipeline: usize,
+    /// Request frames written in total.
+    pub requests: usize,
+    /// Response frames received.
+    pub completed: usize,
+    /// Error frames received — must be 0.
+    pub wire_errors: usize,
+    /// Connections that died on an I/O error — must be 0.
+    pub failed: usize,
+    /// Requests with neither a response nor an error — must be 0.
+    pub unanswered: usize,
+    /// Completed requests per second of wall-clock.
+    pub reqs_per_sec: f64,
+    /// Median client-measured round-trip latency, µs.
+    pub p50_us: u64,
+    /// 95th-percentile round-trip latency, µs.
+    pub p95_us: u64,
+    /// 99th-percentile round-trip latency, µs.
+    pub p99_us: u64,
+}
+
+/// The socket-mode section of the report: where the load went and what
+/// each (format × executor × connection-count) pass observed.
+#[derive(Debug, Clone)]
+pub struct NetSection {
+    /// Address the load generator connected to.
+    pub addr: String,
+    /// True when `serve_bench` hosted the event loop itself (default
+    /// mode); false when driving an external `mersit-served` (`--net`).
+    pub self_hosted: bool,
+    /// All socket-mode measurements.
+    pub runs: Vec<NetRun>,
+}
+
 /// The whole bench: config echo plus one row per measurement.
 #[derive(Debug, Clone)]
 pub struct ServeBenchReport {
@@ -70,6 +120,8 @@ pub struct ServeBenchReport {
     pub queue_depth: usize,
     /// All measurements.
     pub runs: Vec<ServeRun>,
+    /// Socket-mode measurements over the wire protocol.
+    pub net: NetSection,
 }
 
 /// What one load pass observed.
@@ -271,17 +323,284 @@ fn finish_run(
     run
 }
 
+/// What one pipelined socket connection observed.
+struct ConnResult {
+    latencies_us: Vec<u64>,
+    sent: usize,
+    wire_errors: usize,
+    io_error: bool,
+}
+
+/// Drives one blocking client connection: keep `pipeline` requests in
+/// flight, match responses to requests by id, record round-trip times.
+/// The *server* end is non-blocking; a bench client can afford to block.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    addr: &str,
+    model: &str,
+    fmt: Option<&str>,
+    executor: Executor,
+    samples: &[Tensor],
+    conn_idx: usize,
+    per_conn: usize,
+    pipeline: usize,
+) -> ConnResult {
+    let mut out = ConnResult {
+        latencies_us: Vec::with_capacity(per_conn),
+        sent: 0,
+        wire_errors: 0,
+        io_error: false,
+    };
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        out.io_error = true;
+        return out;
+    };
+    let _ = stream.set_nodelay(true);
+    // A lost response must fail the pass loudly, not hang it.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let send_one = |stream: &mut TcpStream,
+                    out: &mut ConnResult,
+                    in_flight: &mut HashMap<u64, Instant>|
+     -> bool {
+        let id = (conn_idx as u64) << 32 | out.sent as u64;
+        let sample = &samples[(conn_idx + out.sent) % samples.len()];
+        let req = wire::WireRequest {
+            id,
+            model: model.to_owned(),
+            assignment: fmt.map(str::to_owned),
+            executor: fmt.map(|_| executor),
+            shape: sample.shape().to_vec(),
+            data: sample.data().to_vec(),
+        };
+        let mut frame = Vec::new();
+        wire::encode_request(&req, &mut frame);
+        in_flight.insert(id, Instant::now());
+        out.sent += 1;
+        stream.write_all(&frame).is_ok()
+    };
+    for _ in 0..pipeline.min(per_conn) {
+        if !send_one(&mut stream, &mut out, &mut in_flight) {
+            out.io_error = true;
+            return out;
+        }
+    }
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while !in_flight.is_empty() {
+        match wire::decode_frame(&buf, 1 << 24) {
+            Ok(Some((frame, used))) => {
+                buf.drain(..used);
+                let id = match &frame {
+                    wire::Frame::Response(r) => Some(r.id),
+                    wire::Frame::Error(e) => {
+                        out.wire_errors += 1;
+                        Some(e.id)
+                    }
+                    _ => None,
+                };
+                if let Some(started) = id.and_then(|id| in_flight.remove(&id)) {
+                    if matches!(frame, wire::Frame::Response(_)) {
+                        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        out.latencies_us.push(us);
+                    }
+                    if out.sent < per_conn && !send_one(&mut stream, &mut out, &mut in_flight) {
+                        out.io_error = true;
+                        return out;
+                    }
+                }
+            }
+            Ok(None) => match stream.read(&mut chunk) {
+                Ok(0) => {
+                    out.io_error = true;
+                    return out;
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => {
+                    out.io_error = true;
+                    return out;
+                }
+            },
+            Err(_) => {
+                out.io_error = true;
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// One socket-mode pass: `connections` threads, each holding a pipelined
+/// connection open for `per_conn` requests.
+#[allow(clippy::too_many_arguments)]
+fn net_pass(
+    addr: &str,
+    model: &str,
+    fmt: Option<&str>,
+    executor: Executor,
+    samples: &[Tensor],
+    connections: usize,
+    per_conn: usize,
+    pipeline: usize,
+) -> NetRun {
+    let agg: Mutex<Vec<ConnResult>> = Mutex::new(Vec::with_capacity(connections));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..connections {
+            let agg = &agg;
+            s.spawn(move || {
+                let r =
+                    drive_connection(addr, model, fmt, executor, samples, c, per_conn, pipeline);
+                agg.lock().expect("net aggregate").push(r);
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let results = agg.into_inner().expect("net aggregate");
+    let mut latencies: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.latencies_us.clone())
+        .collect();
+    latencies.sort_unstable();
+    let requests: usize = results.iter().map(|r| r.sent).sum();
+    let completed = latencies.len();
+    let wire_errors: usize = results.iter().map(|r| r.wire_errors).sum();
+    let failed = results.iter().filter(|r| r.io_error).count();
+    let run = NetRun {
+        model: model.to_owned(),
+        format: fmt.unwrap_or("fp32").to_owned(),
+        executor: executor.to_string(),
+        connections,
+        pipeline,
+        requests,
+        completed,
+        wire_errors,
+        failed,
+        unanswered: requests - completed - wire_errors,
+        reqs_per_sec: completed as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    println!(
+        "net {:<16} {:<12} {:<8} {:>4} conns x{:<2} {:>7.1} req/s  p50 {:>7}us p95 {:>7}us p99 {:>7}us  ({} ok / {} err / {} dead)",
+        run.model,
+        run.format,
+        run.executor,
+        run.connections,
+        run.pipeline,
+        run.reqs_per_sec,
+        run.p50_us,
+        run.p95_us,
+        run.p99_us,
+        run.completed,
+        run.wire_errors,
+        run.failed
+    );
+    run
+}
+
+/// The socket-mode grid. The fp32 pass carries the concurrency headline
+/// (the acceptance bar: ≥ 256 pipelined connections with nothing lost);
+/// the quantized passes keep both executors covered over the wire.
+fn net_combos(quick: bool) -> Vec<(Option<&'static str>, Executor, usize, usize)> {
+    // (format, executor, connections, requests per connection)
+    if quick {
+        vec![
+            (None, Executor::Float, 256, 4),
+            (Some("MERSIT(8,2)"), Executor::Float, 32, 8),
+            (Some("MERSIT(8,2)"), Executor::BitTrue, 8, 4),
+        ]
+    } else {
+        vec![
+            (None, Executor::Float, 384, 4),
+            (Some("MERSIT(8,2)"), Executor::Float, 64, 8),
+            (Some("MERSIT(8,2)"), Executor::BitTrue, 16, 4),
+        ]
+    }
+}
+
+/// Runs the socket-mode section: against `net_addr` when given (an
+/// external `mersit-served`), else against a self-hosted event loop over
+/// a freshly built zoo model on an ephemeral loopback port.
+///
+/// # Panics
+///
+/// Panics (self-hosted mode) if the listener cannot bind, or if the
+/// server breaks admission conservation.
+fn run_net_section(quick: bool, net_addr: Option<&str>) -> NetSection {
+    let _span = mersit_obs::span("bench.serve.net");
+    let hw = if quick { 8usize } else { 10 };
+    // Same construction as `mersit-served`: seed 0x5E4E, vgg_t first.
+    let mut rng = Rng::new(0x5E4E);
+    let model = vgg_t(hw, 10, &mut rng);
+    let name = model.name.clone();
+    let samples: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::randn(&[3, hw, hw], 1.0, &mut rng))
+        .collect();
+    let (addr, hosted) = match net_addr {
+        Some(a) => (a.to_owned(), None),
+        None => {
+            let calib = Tensor::randn(&[16, 3, hw, hw], 1.0, &mut rng);
+            let cal = calibrate(&model, &calib, 8);
+            let server = Arc::new(Server::start(vec![(model, cal)], ServeConfig::from_env()));
+            let handle = mersit_serve::net::spawn(
+                Arc::clone(&server),
+                NetConfig::from_env().addr("127.0.0.1:0"),
+            )
+            .expect("bind self-hosted event loop");
+            (handle.addr().to_string(), Some((server, handle)))
+        }
+    };
+    let mut runs = Vec::new();
+    for (fmt, executor, connections, per_conn) in net_combos(quick) {
+        runs.push(net_pass(
+            &addr,
+            &name,
+            fmt,
+            executor,
+            &samples,
+            connections,
+            per_conn,
+            2,
+        ));
+    }
+    if let Some((server, handle)) = hosted {
+        let net_stats = handle.shutdown();
+        let stats = server.stats();
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.failed,
+            "self-hosted server broke admission conservation"
+        );
+        println!(
+            "net self-host: {} conns, {} frames in, {} responses, {} errors",
+            net_stats.accepted, net_stats.requests, net_stats.responses, net_stats.errors
+        );
+    }
+    NetSection {
+        addr,
+        self_hosted: net_addr.is_none(),
+        runs,
+    }
+}
+
 /// Runs the full grid: per model, per (format × executor) combo, a
 /// closed-loop pass at each client count, then an open-loop pass paced
 /// at roughly half the best closed-loop rate (so the open pass measures
 /// batching under head-room, not a saturated queue).
+///
+/// After the in-process grid, the socket-mode section runs the wire
+/// protocol — against `net_addr` when given (CI's `net-smoke` points it
+/// at a backgrounded `mersit-served`), else against a self-hosted event
+/// loop on an ephemeral loopback port.
 ///
 /// # Panics
 ///
 /// Panics if any pass leaves requests unanswered — the server's
 /// admission-conservation invariant would be broken.
 #[must_use]
-pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
+pub fn run_serve_bench(quick: bool, net_addr: Option<&str>) -> ServeBenchReport {
     let _span = mersit_obs::span("bench.serve");
     println!(
         "serve_bench: {} threads, simd {}",
@@ -334,6 +653,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
             stats.submitted, stats.completed, stats.rejected, stats.cached_plans
         );
     }
+    let net = run_net_section(quick, net_addr);
     ServeBenchReport {
         threads: par::pool_size(),
         simd_isa: mersit_core::simd_level().to_string(),
@@ -342,6 +662,7 @@ pub fn run_serve_bench(quick: bool) -> ServeBenchReport {
         max_wait_us: report_cfg.max_wait_us,
         queue_depth: report_cfg.queue_depth,
         runs,
+        net,
     }
 }
 
@@ -389,7 +710,40 @@ pub fn write_serve_json(report: &ServeBenchReport) {
             "\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"net\": {\n");
+    let _ = writeln!(json, "    \"addr\": \"{}\",", report.net.addr);
+    let _ = writeln!(json, "    \"self_hosted\": {},", report.net.self_hosted);
+    json.push_str("    \"runs\": [\n");
+    for (i, r) in report.net.runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"model\": \"{}\", \"format\": \"{}\", \"executor\": \"{}\", \
+             \"connections\": {}, \"pipeline\": {}, \"requests\": {}, \"completed\": {}, \
+             \"wire_errors\": {}, \"failed\": {}, \"unanswered\": {}, \
+             \"reqs_per_sec\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+            r.model,
+            r.format,
+            r.executor,
+            r.connections,
+            r.pipeline,
+            r.requests,
+            r.completed,
+            r.wire_errors,
+            r.failed,
+            r.unanswered,
+            r.reqs_per_sec,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us
+        );
+        json.push_str(if i + 1 < report.net.runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
 }

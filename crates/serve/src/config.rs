@@ -113,6 +113,100 @@ impl ServeConfig {
     }
 }
 
+/// Tuning knobs for the socket front door ([`crate::net`]): where to
+/// listen, how many connections to multiplex, and the per-connection
+/// buffer caps that implement backpressure.
+///
+/// ```
+/// use mersit_serve::NetConfig;
+///
+/// let cfg = NetConfig::default().addr("127.0.0.1:0").max_conns(256);
+/// assert_eq!(cfg.addr, "127.0.0.1:0");
+/// assert_eq!(cfg.max_conns, 256);
+/// assert_eq!(cfg.read_buf, 256 * 1024); // untouched knobs keep defaults
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Listen address (`MERSIT_SERVE_ADDR`, default `127.0.0.1:7878`).
+    /// Port `0` binds an ephemeral port — the bound address is reported
+    /// by [`crate::net::NetHandle::addr`].
+    pub addr: String,
+    /// Serve at most this many simultaneous connections
+    /// (`MERSIT_SERVE_MAX_CONNS`, default 1024). At the cap the listener
+    /// is simply not polled, so further connects queue in the kernel
+    /// accept backlog instead of being reset.
+    pub max_conns: usize,
+    /// Per-connection read-buffer capacity in bytes
+    /// (`MERSIT_SERVE_READ_BUF`, default 256 KiB, clamped ≥ 4096). Also
+    /// the maximum frame payload the server will accept: a frame must
+    /// fit the buffer to ever decode.
+    pub read_buf: usize,
+    /// Per-connection write-buffer cap in bytes
+    /// (`MERSIT_SERVE_WRITE_BUF`, default 256 KiB, clamped ≥ 4096). A
+    /// connection whose client stops reading accumulates responses up to
+    /// this cap; past it the server stops reading new requests from that
+    /// connection until the backlog drains (backpressure, not OOM).
+    pub write_buf: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            max_conns: 1024,
+            read_buf: 256 * 1024,
+            write_buf: 256 * 1024,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Reads every knob from the environment: `MERSIT_SERVE_ADDR`,
+    /// `MERSIT_SERVE_MAX_CONNS`, `MERSIT_SERVE_READ_BUF`,
+    /// `MERSIT_SERVE_WRITE_BUF`. Unset or unparsable variables keep the
+    /// [`NetConfig::default`] values.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            addr: std::env::var("MERSIT_SERVE_ADDR")
+                .ok()
+                .map_or(d.addr, |v| v.trim().to_owned()),
+            max_conns: env_usize("MERSIT_SERVE_MAX_CONNS", d.max_conns).max(1),
+            read_buf: env_usize("MERSIT_SERVE_READ_BUF", d.read_buf).max(4096),
+            write_buf: env_usize("MERSIT_SERVE_WRITE_BUF", d.write_buf).max(4096),
+        }
+    }
+
+    /// Sets the listen address.
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the connection cap (clamped up to 1).
+    #[must_use]
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n.max(1);
+        self
+    }
+
+    /// Sets the read-buffer / max-frame cap (clamped up to 4096).
+    #[must_use]
+    pub fn read_buf(mut self, bytes: usize) -> Self {
+        self.read_buf = bytes.max(4096);
+        self
+    }
+
+    /// Sets the write-buffer backpressure cap (clamped up to 4096).
+    #[must_use]
+    pub fn write_buf(mut self, bytes: usize) -> Self {
+        self.write_buf = bytes.max(4096);
+        self
+    }
+}
+
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
@@ -138,6 +232,24 @@ mod tests {
         assert_eq!(d.max_wait_us, 2000);
         assert_eq!(d.queue_depth, 64);
         assert_eq!(d.default_executor, Executor::Float);
+    }
+
+    #[test]
+    fn net_defaults_and_clamps() {
+        let d = NetConfig::default();
+        assert_eq!(d.addr, "127.0.0.1:7878");
+        assert_eq!(d.max_conns, 1024);
+        assert_eq!(d.read_buf, 256 * 1024);
+        assert_eq!(d.write_buf, 256 * 1024);
+        let c = NetConfig::default()
+            .addr("0.0.0.0:0")
+            .max_conns(0)
+            .read_buf(1)
+            .write_buf(1);
+        assert_eq!(c.addr, "0.0.0.0:0");
+        assert_eq!(c.max_conns, 1);
+        assert_eq!(c.read_buf, 4096);
+        assert_eq!(c.write_buf, 4096);
     }
 
     #[test]

@@ -11,7 +11,17 @@
 //!    ▲                (backpressure)    (max_batch /        (build once,
 //!    │                                   max_wait_us)        share Arc)
 //!    └──────── Response ◀── ticket ◀─── global work-stealing pool
+//!
+//! sockets ◀─frames─▶ event loop ([`net`]) ──submit──▶ (same queue)
+//!                    non-blocking poll(2), length-prefixed protocol
+//!                    (PROTOCOL.md), pipelined requests per connection
 //! ```
+//!
+//! In-process callers use [`Server::submit`] / [`Server::infer`]
+//! directly; remote clients speak the length-prefixed binary protocol of
+//! `PROTOCOL.md` to the [`net`] event loop (started with [`net::spawn`]
+//! or the `mersit-served` binary), which multiplexes every connection
+//! onto the same admission queue without blocking the batcher.
 //!
 //! # Invariants
 //!
@@ -42,7 +52,10 @@
 //! With `MERSIT_OBS=1`: `serve.queue.depth` and `serve.batch.size`
 //! histograms, `serve.requests` / `serve.admission.rejected` /
 //! `serve.plan.cache.hit` / `serve.plan.cache.miss` counters, and
-//! `serve.batch.flush` / `serve.plan.build` spans.
+//! `serve.batch.flush` / `serve.plan.build` spans. The socket layer adds
+//! `serve.net.connections` / `serve.net.frames.in` /
+//! `serve.net.bytes.read` / `serve.net.bytes.written` counters and a
+//! `serve.net.frame.decode` span per decode attempt.
 
 #![warn(missing_docs)]
 #![warn(clippy::pedantic)]
@@ -60,8 +73,12 @@
 
 pub mod cache;
 pub mod config;
+mod conn;
+pub mod net;
 pub mod server;
+pub mod wire;
 
 pub use cache::{PlanCache, PlanKey};
-pub use config::ServeConfig;
+pub use config::{NetConfig, ServeConfig};
+pub use net::{NetHandle, NetStats};
 pub use server::{Request, Response, ServeError, ServeStats, Server, Ticket};

@@ -140,6 +140,20 @@ impl Ticket {
     pub fn wait(self) -> Result<Response, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
+
+    /// Non-blocking poll: `None` while the request is still queued or
+    /// computing, `Some(..)` once its outcome is available. The socket
+    /// front door ([`crate::net`]) drains tickets with this from its
+    /// event loop, so completed batches flow back to clients without
+    /// anyone blocking on [`Ticket::wait`].
+    #[must_use]
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
 }
 
 /// Counters describing everything a server has done so far. Admission

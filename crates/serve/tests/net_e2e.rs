@@ -1,0 +1,392 @@
+//! Socket front-end end-to-end: a wire-protocol client gets the exact
+//! answer an in-process caller gets, pipelined concurrent connections
+//! are all served, error frames carry the right codes, and admission
+//! conservation (`submitted == completed + failed`) holds even when a
+//! client disconnects with requests still in flight.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mersit_nn::layers::{Linear, Sequential};
+use mersit_nn::{InputKind, Model};
+use mersit_ptq::{calibrate, Executor};
+use mersit_serve::wire::{self, WireRequest};
+use mersit_serve::{net, NetConfig, Request, ServeConfig, Server};
+use mersit_tensor::{Rng, Tensor};
+
+const IN_DIM: usize = 6;
+
+fn toy_server(rng: &mut Rng, cfg: ServeConfig) -> Arc<Server> {
+    let mut net = Sequential::new();
+    net.push(Linear::new(IN_DIM, 4, rng));
+    let model = Model {
+        name: "toy".into(),
+        net,
+        input: InputKind::Image,
+    };
+    let x = Tensor::randn(&[8, IN_DIM], 1.0, rng);
+    let cal = calibrate(&model, &x, 4);
+    Arc::new(Server::start(vec![(model, cal)], cfg))
+}
+
+fn sample(rng: &mut Rng) -> Vec<f32> {
+    Tensor::randn(&[IN_DIM], 1.0, rng).data().to_vec()
+}
+
+fn wire_req(id: u64, data: Vec<f32>, assignment: Option<&str>, exec: Option<Executor>) -> Vec<u8> {
+    let req = WireRequest {
+        id,
+        model: "toy".to_owned(),
+        assignment: assignment.map(str::to_owned),
+        executor: exec,
+        shape: vec![IN_DIM],
+        data,
+    };
+    let mut buf = Vec::new();
+    wire::encode_request(&req, &mut buf);
+    buf
+}
+
+/// Reads whole frames from a blocking stream until `want` frames arrived.
+fn read_frames(stream: &mut TcpStream, want: usize) -> Vec<wire::Frame> {
+    let mut buf = Vec::new();
+    let mut frames = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while frames.len() < want {
+        assert!(Instant::now() < deadline, "timed out waiting for frames");
+        let n = stream.read(&mut chunk).expect("socket read");
+        assert!(n > 0, "server closed with {}/{want} frames", frames.len());
+        buf.extend_from_slice(&chunk[..n]);
+        let mut at = 0;
+        while let Some((frame, used)) =
+            wire::decode_frame(&buf[at..], 1 << 22).expect("clean frame stream")
+        {
+            frames.push(frame);
+            at += used;
+        }
+        buf.drain(..at);
+    }
+    assert!(buf.is_empty(), "trailing bytes after expected frames");
+    frames
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// Polls until every admitted request resolved (the batcher settled).
+fn await_conservation(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = server.stats();
+        if s.submitted == s.completed + s.failed {
+            return;
+        }
+        assert!(Instant::now() < deadline, "batcher never settled: {s:?}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn socket_answers_match_in_process_answers() {
+    let mut rng = Rng::new(0xE2E0);
+    let server = toy_server(&mut rng, ServeConfig::default());
+    let handle = net::spawn(
+        Arc::clone(&server),
+        NetConfig::default().addr("127.0.0.1:0"),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // Same (model, assignment, executor, input) through both doors, for
+    // every combo the protocol can express.
+    let combos: [(Option<&str>, Option<Executor>); 4] = [
+        (None, None),
+        (Some("MERSIT(8,2)"), Some(Executor::Float)),
+        (Some("MERSIT(8,2)"), Some(Executor::BitTrue)),
+        (Some("Posit(8,1)"), Some(Executor::BitTrue)),
+    ];
+    let mut stream = connect(addr);
+    for (i, (assign, exec)) in combos.iter().enumerate() {
+        let data = sample(&mut rng);
+        let mut req = Request::new("toy", Tensor::from_vec(data.clone(), &[IN_DIM]));
+        if let Some(a) = assign {
+            req = req.format(*a);
+        }
+        if let Some(e) = exec {
+            req = req.executor(*e);
+        }
+        let reference = server.infer(req).expect("in-process inference");
+
+        stream
+            .write_all(&wire_req(1000 + i as u64, data, *assign, *exec))
+            .expect("send");
+        let frames = read_frames(&mut stream, 1);
+        match &frames[0] {
+            wire::Frame::Response(r) => {
+                assert_eq!(r.id, 1000 + i as u64);
+                assert_eq!(
+                    r.prediction as usize, reference.prediction,
+                    "socket and in-process disagree for combo {i}: {assign:?} {exec:?}"
+                );
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    // Ping round-trips through the same pipe.
+    let mut ping = Vec::new();
+    wire::encode_ping(0xABCD, &mut ping);
+    stream.write_all(&ping).expect("send ping");
+    let frames = read_frames(&mut stream, 1);
+    assert_eq!(frames[0], wire::Frame::Pong(0xABCD));
+
+    drop(stream);
+    let stats = handle.shutdown();
+    assert_eq!(stats.requests, combos.len() as u64);
+    assert_eq!(stats.responses, combos.len() as u64);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn error_frames_carry_the_right_codes_and_keep_the_connection() {
+    let mut rng = Rng::new(0xE2E1);
+    let server = toy_server(&mut rng, ServeConfig::default());
+    let handle = net::spawn(
+        Arc::clone(&server),
+        NetConfig::default().addr("127.0.0.1:0"),
+    )
+    .expect("bind loopback");
+    let mut stream = connect(handle.addr());
+
+    // Unknown model, bad format string, then malformed payload — each
+    // answered with its error frame, none killing the connection.
+    let bad_model = WireRequest {
+        id: 1,
+        model: "nope".to_owned(),
+        assignment: None,
+        executor: None,
+        shape: vec![IN_DIM],
+        data: sample(&mut rng),
+    };
+    let mut buf = Vec::new();
+    wire::encode_request(&bad_model, &mut buf);
+    let bad_format = WireRequest {
+        id: 2,
+        model: "toy".to_owned(),
+        assignment: Some("MERSIT(9,9)".to_owned()),
+        executor: None,
+        shape: vec![IN_DIM],
+        data: sample(&mut rng),
+    };
+    wire::encode_request(&bad_format, &mut buf);
+    // Intact framing, broken payload: executor byte set to 9.
+    let mut mangled = wire_req(3, sample(&mut rng), None, None);
+    let exec_at = 8 + 8 + 1 + "toy".len() + 2;
+    mangled[exec_at] = 9;
+    buf.extend_from_slice(&mangled);
+    // A healthy request after all three — proves the connection survived.
+    buf.extend_from_slice(&wire_req(4, sample(&mut rng), None, None));
+
+    stream.write_all(&buf).expect("send burst");
+    let frames = read_frames(&mut stream, 4);
+    match &frames[0] {
+        wire::Frame::Error(e) => {
+            assert_eq!((e.id, e.code), (1, wire::ERR_UNKNOWN_MODEL));
+        }
+        other => panic!("expected unknown-model error, got {other:?}"),
+    }
+    match &frames[1] {
+        wire::Frame::Error(e) => assert_eq!((e.id, e.code), (2, wire::ERR_BAD_FORMAT)),
+        other => panic!("expected bad-format error, got {other:?}"),
+    }
+    match &frames[2] {
+        wire::Frame::Error(e) => assert_eq!((e.id, e.code), (3, wire::ERR_MALFORMED)),
+        other => panic!("expected malformed error, got {other:?}"),
+    }
+    assert!(
+        matches!(&frames[3], wire::Frame::Response(r) if r.id == 4),
+        "healthy request after errors must still be served: {:?}",
+        frames[3]
+    );
+
+    // Garbage that loses framing (a full header's worth — fewer bytes
+    // would just look like a partial frame): one ERR_PROTOCOL frame,
+    // then close.
+    stream
+        .write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF])
+        .expect("send");
+    let frames = read_frames(&mut stream, 1);
+    match &frames[0] {
+        wire::Frame::Error(e) => assert_eq!(e.code, wire::ERR_PROTOCOL),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    let mut tail = [0u8; 16];
+    let n = stream.read(&mut tail).expect("read close");
+    assert_eq!(n, 0, "connection must close after a protocol error");
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_pipelined_connections_all_get_answered() {
+    let mut rng = Rng::new(0xE2E2);
+    let server = toy_server(
+        &mut rng,
+        ServeConfig::default().max_batch(16).queue_depth(32),
+    );
+    let handle = net::spawn(
+        Arc::clone(&server),
+        NetConfig::default().addr("127.0.0.1:0"),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    const CONNS: usize = 24;
+    const PER_CONN: usize = 12;
+    const PIPELINE: usize = 4;
+
+    // Per-connection inputs, fixed up front so each thread owns its data.
+    let inputs: Vec<Vec<Vec<f32>>> = (0..CONNS)
+        .map(|_| (0..PER_CONN).map(|_| sample(&mut rng)).collect())
+        .collect();
+    // In-process reference predictions for the same inputs.
+    let expected: Vec<Vec<usize>> = inputs
+        .iter()
+        .map(|conn| {
+            conn.iter()
+                .map(|data| {
+                    server
+                        .infer(
+                            Request::new("toy", Tensor::from_vec(data.clone(), &[IN_DIM]))
+                                .format("MERSIT(8,2)"),
+                        )
+                        .expect("reference inference")
+                        .prediction
+                })
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (conn_idx, (conn_inputs, conn_expected)) in
+            inputs.iter().zip(expected.iter()).enumerate()
+        {
+            scope.spawn(move || {
+                let mut stream = connect(addr);
+                let mut sent = 0;
+                let mut got = [None; PER_CONN];
+                let mut outstanding = 0;
+                let mut done = 0;
+                while done < PER_CONN {
+                    while sent < PER_CONN && outstanding < PIPELINE {
+                        let id = ((conn_idx as u64) << 32) | sent as u64;
+                        let buf =
+                            wire_req(id, conn_inputs[sent].clone(), Some("MERSIT(8,2)"), None);
+                        stream.write_all(&buf).expect("send");
+                        sent += 1;
+                        outstanding += 1;
+                    }
+                    for frame in read_frames(&mut stream, 1) {
+                        match frame {
+                            wire::Frame::Response(r) => {
+                                let slot = (r.id & 0xFFFF_FFFF) as usize;
+                                assert_eq!(r.id >> 32, conn_idx as u64);
+                                assert!(got[slot].is_none(), "duplicate response {}", r.id);
+                                got[slot] = Some(r.prediction);
+                                outstanding -= 1;
+                                done += 1;
+                            }
+                            other => panic!("conn {conn_idx}: unexpected frame {other:?}"),
+                        }
+                    }
+                }
+                for (i, (have, want)) in got.iter().zip(conn_expected.iter()).enumerate() {
+                    assert_eq!(
+                        have.unwrap() as usize,
+                        *want,
+                        "conn {conn_idx} req {i} diverged"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.accepted, CONNS as u64);
+    assert_eq!(stats.requests, (CONNS * PER_CONN) as u64);
+    assert_eq!(stats.responses, (CONNS * PER_CONN) as u64);
+    assert_eq!(stats.errors, 0);
+    await_conservation(&server);
+}
+
+#[test]
+fn midflight_disconnect_conserves_admission() {
+    let mut rng = Rng::new(0xE2E3);
+    // Slow the batcher down (long wait, deep queue) so the disconnect
+    // happens while requests are genuinely still in flight.
+    let server = toy_server(
+        &mut rng,
+        ServeConfig::default()
+            .max_batch(64)
+            .max_wait_us(50_000)
+            .queue_depth(64),
+    );
+    let handle = net::spawn(
+        Arc::clone(&server),
+        NetConfig::default().addr("127.0.0.1:0"),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    // One well-behaved connection to prove service continues afterwards.
+    let mut survivor = connect(addr);
+
+    // The vanishing client: pipeline a burst, read nothing, drop.
+    {
+        let mut stream = connect(addr);
+        let mut buf = Vec::new();
+        for i in 0..16 {
+            buf.extend_from_slice(&wire_req(i, sample(&mut rng), Some("MERSIT(8,2)"), None));
+        }
+        stream.write_all(&buf).expect("send burst");
+        // Close abruptly with everything still unanswered.
+        drop(stream);
+    }
+
+    // The survivor still gets served while the orphans resolve.
+    survivor
+        .write_all(&wire_req(777, sample(&mut rng), None, None))
+        .expect("send");
+    let frames = read_frames(&mut survivor, 1);
+    assert!(
+        matches!(&frames[0], wire::Frame::Response(r) if r.id == 777),
+        "survivor starved: {:?}",
+        frames[0]
+    );
+    drop(survivor);
+
+    // Shutdown drains: the orphan's in-flight requests finish computing,
+    // the flush toward the dead socket fails, and the loop reaps both
+    // connections before returning.
+    let stats = handle.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.closed, 2);
+
+    // Every admitted request resolved exactly once — orphaned tickets
+    // are dropped by the event loop, but the batcher still completes
+    // them (the ticket channel just has no listener).
+    await_conservation(&server);
+    let s = server.stats();
+    assert!(s.submitted >= 17, "burst not admitted: {s:?}");
+    assert_eq!(s.submitted, s.completed + s.failed);
+    assert_eq!(s.failed, 0);
+}

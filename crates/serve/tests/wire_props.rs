@@ -1,0 +1,218 @@
+//! Wire-codec properties: every frame round-trips losslessly (including
+//! NaN payload bit patterns), every truncation of a valid frame asks for
+//! more bytes, and arbitrary garbage — flipped headers, lying length
+//! fields, random byte soup — decodes to a *clean* protocol error.
+//! `decode_frame` must never panic, whatever the bytes.
+
+use proptest::prelude::*;
+
+use mersit_ptq::Executor;
+use mersit_serve::wire::{
+    self, decode_frame, encode_error, encode_ping, encode_pong, encode_request, DecodeError, Frame,
+    WireRequest,
+};
+
+const LIMIT: usize = 1 << 22;
+
+/// Deterministic byte soup from a seed (the shim's TestRng, reused as a
+/// plain PRNG).
+fn garbage(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = proptest::TestRng::seeded(seed);
+    (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect()
+}
+
+fn build_request(seed: u64) -> WireRequest {
+    let mut rng = proptest::TestRng::seeded(seed);
+    let rank = 1 + (rng.below(4) as usize);
+    let shape: Vec<usize> = (0..rank).map(|_| 1 + rng.below(5) as usize).collect();
+    let elems: usize = shape.iter().product();
+    let data: Vec<f32> = (0..elems)
+        .map(|i| match rng.below(8) {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            _ => (rng.unit_f64() as f32 - 0.5) * (10f32).powi((i % 7) as i32 - 3),
+        })
+        .collect();
+    WireRequest {
+        id: rng.next_u64(),
+        model: format!("model_{}", rng.below(1000)),
+        assignment: match rng.below(3) {
+            0 => None,
+            1 => Some("MERSIT(8,2)".to_owned()),
+            _ => Some("MERSIT(8,2);head=FP(8,4);features.0=Posit(8,1)".to_owned()),
+        },
+        executor: match rng.below(3) {
+            0 => None,
+            1 => Some(Executor::Float),
+            _ => Some(Executor::BitTrue),
+        },
+        shape,
+        data,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip_bit_for_bit(seed in 0u64..1_000_000) {
+        let req = build_request(seed);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let (frame, used) = decode_frame(&buf, LIMIT)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(used, buf.len());
+        let Frame::Request(got) = frame else {
+            panic!("decoded wrong frame type");
+        };
+        prop_assert_eq!(got.id, req.id);
+        prop_assert_eq!(&got.model, &req.model);
+        prop_assert_eq!(&got.assignment, &req.assignment);
+        prop_assert_eq!(got.executor, req.executor);
+        prop_assert_eq!(&got.shape, &req.shape);
+        // Bit-level comparison: NaNs must survive the wire unchanged.
+        let want: Vec<u32> = req.data.iter().map(|v| v.to_bits()).collect();
+        let have: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(have, want);
+    }
+
+    #[test]
+    fn every_truncation_wants_more_bytes(seed in 0u64..100_000) {
+        let req = build_request(seed);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        // Check a spread of cut points including all header boundaries.
+        let mut cuts: Vec<usize> = (0..wire::HEADER_LEN.min(buf.len())).collect();
+        cuts.extend((wire::HEADER_LEN..buf.len()).step_by(7));
+        for cut in cuts {
+            prop_assert_eq!(decode_frame(&buf[..cut], LIMIT), Ok(None));
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_sequence(seed in 0u64..100_000) {
+        // Several frames of mixed types back to back in one buffer —
+        // exactly what a pipelining client produces.
+        let reqs: Vec<WireRequest> = (0..3).map(|i| build_request(seed * 31 + i)).collect();
+        let mut buf = Vec::new();
+        encode_request(&reqs[0], &mut buf);
+        encode_ping(seed, &mut buf);
+        encode_request(&reqs[1], &mut buf);
+        encode_error(7, wire::ERR_INTERNAL, "boom", &mut buf);
+        encode_request(&reqs[2], &mut buf);
+        encode_pong(seed ^ 1, &mut buf);
+        let mut frames = Vec::new();
+        let mut cursor = &buf[..];
+        while let Some((frame, used)) = decode_frame(cursor, LIMIT).expect("valid stream") {
+            frames.push(frame);
+            cursor = &cursor[used..];
+        }
+        prop_assert!(cursor.is_empty());
+        prop_assert_eq!(frames.len(), 6);
+        prop_assert!(matches!(&frames[0], Frame::Request(r) if r.id == reqs[0].id));
+        prop_assert!(matches!(frames[1], Frame::Ping(t) if t == seed));
+        prop_assert!(matches!(&frames[3], Frame::Error(e) if e.id == 7));
+        prop_assert!(matches!(&frames[4], Frame::Request(r) if r.id == reqs[2].id));
+    }
+
+    #[test]
+    fn garbage_never_panics_and_errors_cleanly(seed in 0u64..1_000_000, len in 0usize..200) {
+        let buf = garbage(seed, len);
+        // Whatever happens, it must be a clean outcome — the proptest
+        // harness would catch a panic as a test failure.
+        match decode_frame(&buf, LIMIT) {
+            Ok(None | Some(_)) | Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn corrupted_valid_frames_never_panic(seed in 0u64..100_000, flips in 1usize..8) {
+        // Start from a real frame, then flip bytes — covers the "almost
+        // valid" space random soup misses (magic intact, length lying,
+        // UTF-8 broken, executor code unknown...).
+        let req = build_request(seed);
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let mut rng = proptest::TestRng::seeded(seed ^ 0xF11F);
+        for _ in 0..flips {
+            let at = rng.below(buf.len() as u64) as usize;
+            buf[at] ^= (rng.next_u64() & 0xFF) as u8;
+        }
+        match decode_frame(&buf, LIMIT) {
+            Ok(None | Some(_)) | Err(_) => {}
+        }
+    }
+}
+
+#[test]
+fn oversized_declaration_is_fatal_not_a_wait() {
+    // A header declaring a payload bigger than the cap must fail
+    // immediately: waiting for bytes that will never fit the read
+    // buffer would hang the connection forever.
+    let mut buf = vec![wire::MAGIC, wire::VERSION, wire::FRAME_REQUEST, 0];
+    buf.extend_from_slice(&(LIMIT as u32 + 1).to_be_bytes());
+    assert!(matches!(
+        decode_frame(&buf, LIMIT),
+        Err(DecodeError::Fatal(_))
+    ));
+}
+
+#[test]
+fn wrong_version_unknown_type_and_flags_are_fatal() {
+    let mut ping = Vec::new();
+    encode_ping(1, &mut ping);
+    let mut v2 = ping.clone();
+    v2[1] = 2; // future version
+    assert!(matches!(
+        decode_frame(&v2, LIMIT),
+        Err(DecodeError::Fatal(_))
+    ));
+    let mut t9 = ping.clone();
+    t9[2] = 0x09; // unknown frame type
+    assert!(matches!(
+        decode_frame(&t9, LIMIT),
+        Err(DecodeError::Fatal(_))
+    ));
+    let mut fl = ping.clone();
+    fl[3] = 0x80; // v1 flags must be zero
+    assert!(matches!(
+        decode_frame(&fl, LIMIT),
+        Err(DecodeError::Fatal(_))
+    ));
+}
+
+#[test]
+fn malformed_request_payload_keeps_the_boundary() {
+    // Intact framing, broken payload (executor code 9): the decoder must
+    // report exactly the frame's extent so the connection can skip it
+    // and keep decoding the next frame.
+    let req = build_request(99);
+    let mut buf = Vec::new();
+    encode_request(&req, &mut buf);
+    let frame_len = buf.len();
+    // Corrupt the executor byte: header(8) + id(8) + model(1+len) + assign(2+len).
+    let model_len = req.model.len();
+    let assign_len = req.assignment.as_deref().map_or(0, str::len);
+    let exec_at = 8 + 8 + 1 + model_len + 2 + assign_len;
+    buf[exec_at] = 9;
+    let mut tail = Vec::new();
+    encode_ping(5, &mut tail);
+    buf.extend_from_slice(&tail);
+    match decode_frame(&buf, LIMIT) {
+        Err(DecodeError::Malformed { consumed, id, .. }) => {
+            assert_eq!(consumed, frame_len);
+            assert_eq!(id, req.id);
+            // The next frame decodes cleanly after the skip.
+            let (frame, used) = decode_frame(&buf[consumed..], LIMIT)
+                .expect("clean tail")
+                .expect("complete tail");
+            assert_eq!(frame, Frame::Ping(5));
+            assert_eq!(used, tail.len());
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}

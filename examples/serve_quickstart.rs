@@ -4,6 +4,11 @@
 //!
 //! Run with: `cargo run --release --example serve_quickstart`
 //! (see SERVING.md for the full guide and every knob).
+//!
+//! The same server is reachable over TCP: `mersit_serve::net::spawn`
+//! (or the standalone `mersit-served` binary) puts a non-blocking
+//! event loop in front of it speaking the PROTOCOL.md wire format —
+//! identical answers, socket or in-process.
 
 use mersit_nn::models::vgg_t;
 use mersit_ptq::{calibrate, Executor};

@@ -1,0 +1,56 @@
+//! `mersit-served` — the standalone socket-serving daemon: the model zoo
+//! behind the non-blocking TCP front door.
+//!
+//! Usage: `mersit-served [--quick]`. Builds the deterministic model zoo
+//! (`vgg_t` + `mobilenet_v3_t`, seed `0x5E4E` — the same construction
+//! the `serve_bench` client grid assumes), calibrates, starts an
+//! in-process [`mersit_serve::Server`] with the `MERSIT_SERVE_*` batching
+//! knobs, and listens on `MERSIT_SERVE_ADDR` (default `127.0.0.1:7878`;
+//! port `0` picks an ephemeral port) speaking the length-prefixed binary
+//! protocol of `PROTOCOL.md`.
+//!
+//! `--quick` builds the zoo at the CI input size (`hw = 8`, matching
+//! `serve_bench --quick`); the default is `hw = 10` (matching the full
+//! bench grid). Drive it with the socket load generator:
+//!
+//! ```sh
+//! MERSIT_SERVE_ADDR=127.0.0.1:7979 cargo run --release --bin mersit-served -- --quick &
+//! cargo run --release --bin serve_bench -- --quick --net 127.0.0.1:7979
+//! ```
+//!
+//! The network knobs (`MERSIT_SERVE_MAX_CONNS`, `MERSIT_SERVE_READ_BUF`,
+//! `MERSIT_SERVE_WRITE_BUF`) and the batching/executor knobs are all
+//! read from the environment; see SERVING.md. The process serves until
+//! killed (the CI `net-smoke` job backgrounds it and `kill`s it after
+//! the load run).
+
+use mersit_nn::models::{mobilenet_v3_t, vgg_t};
+use mersit_ptq::calibrate;
+use mersit_serve::{net, NetConfig, ServeConfig, Server};
+use mersit_tensor::{Rng, Tensor};
+use std::sync::Arc;
+
+fn main() {
+    mersit_obs::init_from_env();
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let hw = if quick { 8 } else { 10 };
+    let mut rng = Rng::new(0x5E4E);
+    let mut models = Vec::new();
+    for model in [vgg_t(hw, 10, &mut rng), mobilenet_v3_t(hw, 10, &mut rng)] {
+        let calib = Tensor::randn(&[16, 3, hw, hw], 1.0, &mut rng);
+        let cal = calibrate(&model, &calib, 8);
+        println!("loaded {} (input 3x{hw}x{hw})", model.name);
+        models.push((model, cal));
+    }
+    let serve_cfg = ServeConfig::from_env();
+    let net_cfg = NetConfig::from_env();
+    let server = Arc::new(Server::start(models, serve_cfg));
+    let handle = net::spawn(server, net_cfg).expect("bind MERSIT_SERVE_ADDR");
+    // The readiness line scripts wait for — keep the format stable.
+    println!("mersit-served listening on {}", handle.addr());
+    let stats = handle.join();
+    println!(
+        "mersit-served exiting: {} connections, {} requests, {} responses, {} errors",
+        stats.accepted, stats.requests, stats.responses, stats.errors
+    );
+}

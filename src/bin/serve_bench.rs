@@ -1,21 +1,33 @@
 //! Workspace-root entry point for the serving load bench, so
 //! `cargo run --release --bin serve_bench` works from the root.
 //!
-//! Usage: `serve_bench [--quick]`. Drives a `mersit-serve` server over
-//! the model zoo in closed-loop (1/N concurrent clients) and open-loop
-//! (paced arrivals) modes for every (format × executor) combo, and
-//! writes requests/sec and p50/p95/p99 latency per run to
-//! `BENCH_serve.json`. `--quick` shrinks the grid to one model and three
+//! Usage: `serve_bench [--quick] [--net ADDR]`. Drives a `mersit-serve`
+//! server over the model zoo in closed-loop (1/N concurrent clients) and
+//! open-loop (paced arrivals) modes for every (format × executor) combo,
+//! then runs the socket-mode load generator — pipelined wire-protocol
+//! connections against a self-hosted event loop, or against an external
+//! `mersit-served` at `--net ADDR` (the CI `net-smoke` configuration) —
+//! and writes requests/sec and p50/p95/p99 latency per run to
+//! `BENCH_serve.json` (in-process grid under `runs`, socket grid under
+//! `net.runs`). `--quick` shrinks the grid to one model and three
 //! combos — the CI smoke configuration. The server knobs come from the
 //! environment (`MERSIT_SERVE_MAX_BATCH`, `MERSIT_SERVE_MAX_WAIT_US`,
-//! `MERSIT_SERVE_QUEUE_DEPTH`, `MERSIT_EXECUTOR`); set `MERSIT_OBS=1` to
-//! also emit `OBS_serve_bench.json` with queue-depth/batch-size
-//! histograms and per-stage spans.
+//! `MERSIT_SERVE_QUEUE_DEPTH`, `MERSIT_EXECUTOR`, plus the
+//! `MERSIT_SERVE_ADDR`/`MAX_CONNS`/`READ_BUF`/`WRITE_BUF` network knobs
+//! in self-hosted socket mode); set `MERSIT_OBS=1` to also emit
+//! `OBS_serve_bench.json` with queue-depth/batch-size histograms,
+//! `serve.net.*` counters, and per-stage spans.
 
 fn main() {
     mersit_obs::init_from_env();
-    let quick = std::env::args().skip(1).any(|a| a == "--quick");
-    let report = mersit_bench::serve::run_serve_bench(quick);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let net_addr = args
+        .iter()
+        .position(|a| a == "--net")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let report = mersit_bench::serve::run_serve_bench(quick, net_addr);
     mersit_bench::serve::write_serve_json(&report);
     match mersit_obs::report::write_global_report("serve_bench") {
         Ok(Some(path)) => println!("wrote {path}"),
